@@ -1,0 +1,88 @@
+"""E11 — Section 4: ES simulates ◇P (and hence ◇S).
+
+On families of generated schedules, the simulated detector (suspect =
+"no current-round message") satisfies:
+
+* on SCS-legal synchronous runs — the *perfect* detector P (this is why
+  Halt sets in synchronous runs only ever contain crashed processes,
+  Claim 13.1);
+* on ES-legal runs — ◇P: strong completeness plus eventual strong
+  accuracy, with the accuracy round no later than the schedule's synchrony
+  round once crashes have settled.
+"""
+
+from repro.analysis.tables import format_table
+from repro.detectors import (
+    EventuallyPerfect,
+    EventuallyStrong,
+    Perfect,
+    simulate_from_schedule,
+)
+from repro.sim.random_schedules import random_es_schedule, random_scs_schedule
+
+from conftest import emit
+
+SAMPLES = 60
+
+
+def detector_census():
+    stats = {
+        "scs_perfect": 0,
+        "scs_total": 0,
+        "es_diamond_p": 0,
+        "es_diamond_s": 0,
+        "es_accuracy_by_sync": 0,
+        "es_total": 0,
+    }
+    for seed in range(SAMPLES):
+        scs = random_scs_schedule(6, 2, seed, horizon=9)
+        last_crash = max(
+            (s.round for s in scs.crashes.values()), default=0
+        )
+        if last_crash < scs.horizon:
+            stats["scs_total"] += 1
+            if Perfect.satisfied_by(simulate_from_schedule(scs)):
+                stats["scs_perfect"] += 1
+
+        es = random_es_schedule(6, 2, seed, horizon=16, sync_by=7)
+        last_crash = max(
+            (s.round for s in es.crashes.values()), default=0
+        )
+        if last_crash >= es.horizon:
+            continue
+        stats["es_total"] += 1
+        history = simulate_from_schedule(es)
+        if EventuallyPerfect.satisfied_by(history):
+            stats["es_diamond_p"] += 1
+        if EventuallyStrong.satisfied_by(history):
+            stats["es_diamond_s"] += 1
+        accuracy_round = history.eventual_strong_accuracy_round()
+        settle = max(es.sync_from(), last_crash + 1)
+        if accuracy_round is not None and accuracy_round <= settle:
+            stats["es_accuracy_by_sync"] += 1
+    return stats
+
+
+def test_simulated_detector_properties(benchmark):
+    stats = benchmark.pedantic(detector_census, rounds=1, iterations=1)
+    rows = [
+        ("SCS runs satisfying P", stats["scs_perfect"],
+         stats["scs_total"]),
+        ("ES runs satisfying ◇P", stats["es_diamond_p"],
+         stats["es_total"]),
+        ("ES runs satisfying ◇S", stats["es_diamond_s"],
+         stats["es_total"]),
+        ("ES accuracy by settle round", stats["es_accuracy_by_sync"],
+         stats["es_total"]),
+    ]
+    emit(
+        format_table(
+            ["property", "satisfied", "checked"],
+            rows,
+            title="E11: the Section-4 failure-detector simulation",
+        )
+    )
+    assert stats["scs_perfect"] == stats["scs_total"] > 0
+    assert stats["es_diamond_p"] == stats["es_total"] > 0
+    assert stats["es_diamond_s"] == stats["es_total"]
+    assert stats["es_accuracy_by_sync"] == stats["es_total"]

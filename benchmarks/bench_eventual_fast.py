@@ -1,0 +1,96 @@
+"""E8 — Figure 5 / Lemmas 15–16: eventual fast decision, A_{f+2} vs AMR.
+
+Sweeps the asynchrony prefix k and the post-synchrony crash count f on
+identical schedules: A_{f+2} globally decides by round k + f + 2 (Lemma
+15); the two-step leader-based AMR needs up to k + 2f + 2 (footnote 10).
+Absolute rounds depend on the workload's kindness — the asserted shape is
+the paper's *guarantee* (upper bounds) plus the A_{f+2} <= AMR ordering.
+"""
+
+from repro import AFPlus2, AMRLeaderES
+from repro.analysis.sweep import run_case
+from repro.analysis.tables import format_table
+from repro.workloads import async_prefix
+
+from conftest import emit
+
+N, T = 7, 2
+
+
+def eventual_fast_rows():
+    rows = []
+    for k in (0, 2, 4):
+        for f in (0, 1, 2):
+            schedule = async_prefix(N, T, k + f + 10, k=k, crashes_after=f)
+            afp2, _ = run_case(
+                "afp2", AFPlus2, f"k{k}f{f}", schedule, list(range(N))
+            )
+            amr, _ = run_case(
+                "amr", AMRLeaderES, f"k{k}f{f}", schedule, list(range(N))
+            )
+            rows.append(
+                (
+                    k,
+                    f,
+                    afp2.global_round,
+                    k + f + 2,
+                    amr.global_round,
+                    k + 2 * f + 2,
+                )
+            )
+    return rows
+
+
+def test_eventual_fast_decision(benchmark):
+    rows = benchmark(eventual_fast_rows)
+    emit(
+        format_table(
+            ["k", "f", "A_f+2", "bound k+f+2", "AMR", "bound k+2f+2"],
+            rows,
+            title=f"E8: eventual fast decision (n={N}, t={T})",
+        )
+    )
+    for k, f, afp2_round, afp2_bound, amr_round, amr_bound in rows:
+        assert afp2_round is not None and afp2_round <= afp2_bound, (k, f)
+        assert amr_round is not None and amr_round <= amr_bound, (k, f)
+        assert afp2_round <= amr_round, (k, f)
+
+
+def test_crash_heavy_synchronous_tail(benchmark):
+    """f = t crashes right after the prefix: the bound still holds."""
+
+    def run():
+        rows = []
+        for k in (0, 3):
+            schedule = async_prefix(N, T, k + T + 10, k=k, crashes_after=T)
+            afp2, _ = run_case(
+                "afp2", AFPlus2, f"k{k}", schedule, list(range(N))
+            )
+            rows.append((k, T, afp2.global_round, k + T + 2))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for k, f, got, bound in rows:
+        del f
+        assert got is not None and got <= bound, (k, got, bound)
+
+
+def test_termination_from_any_prefix(benchmark):
+    """Lemma 16: every run decides once synchrony arrives (k + t + 2)."""
+    from repro.analysis.metrics import check_consensus
+    from repro.sim.kernel import run_algorithm
+    from repro.sim.random_schedules import random_es_schedule, random_proposals
+
+    def sampled(seeds=range(60)):
+        bad = []
+        for seed in seeds:
+            schedule = random_es_schedule(N, T, seed, horizon=22, sync_by=8)
+            trace = run_algorithm(
+                AFPlus2, schedule, random_proposals(N, seed)
+            )
+            if check_consensus(trace, expect_termination=True):
+                bad.append(seed)
+        return bad
+
+    bad = benchmark.pedantic(sampled, rounds=1, iterations=1)
+    assert not bad

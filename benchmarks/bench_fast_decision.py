@@ -1,0 +1,77 @@
+"""E4 — Figure 2 / Lemma 13: A_{t+2}'s fast decision, swept.
+
+Sweeps (n, t) and synchronous crash patterns: A_{t+2} globally decides at
+**exactly t + 2** in every synchronous run — independently of the
+underlying consensus module C (we run both the Chandra–Toueg-style and
+Hurfin–Raynal-style C to show the fast path never consults it).
+"""
+
+import pytest
+
+from repro import ATt2, ChandraTouegES, HurfinRaynalES, Schedule
+from repro.analysis.sweep import run_case
+from repro.analysis.tables import format_table
+from repro.sim.random_schedules import random_scs_schedule
+from repro.workloads import block_crashes, serial_cascade, value_hiding_chain
+
+from conftest import emit
+
+SYSTEMS = [(4, 1), (5, 2), (7, 3), (9, 4)]
+
+
+def workloads(n, t):
+    horizon = t + 8
+    out = [
+        ("failure_free", Schedule.failure_free(n, t, horizon)),
+        ("cascade", serial_cascade(n, t, horizon)),
+        ("hiding_chain", value_hiding_chain(n, t, horizon)),
+        ("block", block_crashes(n, t, horizon)),
+    ]
+    for seed in range(10):
+        out.append(
+            (f"random_scs_{seed}", random_scs_schedule(
+                n, t, seed, horizon=horizon))
+        )
+    return out
+
+
+def sweep_fast_decision(n, t, underlying):
+    rows = []
+    for name, schedule in workloads(n, t):
+        record, _ = run_case(
+            "att2", ATt2.factory(underlying), name, schedule,
+            list(range(n)),
+        )
+        rows.append((name, record.global_round, record.agreement_ok))
+    return rows
+
+
+@pytest.mark.parametrize("n,t", SYSTEMS)
+def test_fast_decision_sweep(benchmark, n, t):
+    rows = benchmark.pedantic(
+        sweep_fast_decision, args=(n, t, ChandraTouegES),
+        rounds=1, iterations=1,
+    )
+    emit(
+        format_table(
+            ["workload", "global round", "agreement"],
+            rows,
+            title=f"E4: A_t+2 fast decision (n={n}, t={t}; paper: t+2={t + 2})",
+        )
+    )
+    for name, global_round, agreement_ok in rows:
+        assert global_round == t + 2, (name, global_round)
+        assert agreement_ok
+
+
+def test_fast_decision_independent_of_underlying(benchmark):
+    n, t = 5, 2
+
+    def both():
+        return (
+            sweep_fast_decision(n, t, ChandraTouegES),
+            sweep_fast_decision(n, t, HurfinRaynalES),
+        )
+
+    with_ct, with_hr = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert with_ct == with_hr

@@ -1,0 +1,74 @@
+"""E5 — the headline table: the inherent price of indulgence.
+
+Reproduces the paper's central comparison (Sections 1.3–1.4): worst-case
+global decision round over synchronous runs, per algorithm and model.
+
+    FloodSet (SCS)        : t + 1   — the synchronous optimum
+    A_{t+2} (ES)          : t + 2   — the paper's algorithm, tight
+    A_◇S (ES/◇S)          : t + 2   — Figure 3 transposition
+    Hurfin-Raynal (ES/◇S) : 2t + 2  — previously best indulgent algorithm
+    Chandra-Toueg (ES/◇S) : 3t + 3  — classic rotating coordinator
+
+The price of indulgence is exactly one round.
+"""
+
+from repro import (
+    ADiamondS,
+    ATt2,
+    ChandraTouegES,
+    FloodSet,
+    HurfinRaynalES,
+    Schedule,
+)
+from repro.analysis.sweep import worst_case_round
+from repro.analysis.tables import format_table
+from repro.workloads import coordinator_killer, serial_cascade, value_hiding_chain
+
+from conftest import emit
+
+N, T = 5, 2
+HORIZON = 24
+
+
+def synchronous_workloads():
+    return [
+        ("failure_free", Schedule.failure_free(N, T, HORIZON)),
+        ("cascade", serial_cascade(N, T, HORIZON)),
+        ("hiding_chain", value_hiding_chain(N, T, HORIZON)),
+        ("killer2", coordinator_killer(N, T, HORIZON, rounds_per_cycle=2)),
+        ("killer3", coordinator_killer(N, T, HORIZON, rounds_per_cycle=3)),
+    ]
+
+
+def price_table():
+    proposals = list(range(N))
+    algorithms = [
+        ("FloodSet (SCS)", FloodSet, T + 1),
+        ("A_t+2 (ES)", ATt2.factory(), T + 2),
+        ("A_dS (ES)", ADiamondS.factory(), T + 2),
+        ("Hurfin-Raynal (ES)", HurfinRaynalES, 2 * T + 2),
+        ("Chandra-Toueg (ES)", ChandraTouegES, 3 * T + 3),
+    ]
+    rows = []
+    for name, factory, expected in algorithms:
+        worst, witness = worst_case_round(
+            factory, synchronous_workloads(), proposals
+        )
+        rows.append((name, worst, expected, witness))
+    return rows
+
+
+def test_price_of_indulgence(benchmark):
+    rows = benchmark(price_table)
+    emit(
+        format_table(
+            ["algorithm", "worst sync round", "paper", "witness workload"],
+            rows,
+            title=f"E5: the price of indulgence (n={N}, t={T})",
+        )
+    )
+    for name, worst, expected, _witness in rows:
+        assert worst == expected, (name, worst, expected)
+    # The headline: one-round gap between SCS optimum and ES optimum.
+    by_name = {name: worst for name, worst, _e, _w in rows}
+    assert by_name["A_t+2 (ES)"] - by_name["FloodSet (SCS)"] == 1

@@ -1,0 +1,83 @@
+"""E2 — Lemmas 2–5: the bivalency structure, computed exactly.
+
+* Lemma 3 holds for every algorithm: some initial configuration along the
+  chain C_0..C_n is bivalent.
+* Lemma 2's dichotomy separates the models: FloodSet (decides t + 1 in
+  SCS) has **every t-round serial partial run univalent**, while A_{t+2}
+  (decides t + 2) has every (t + 1)-round serial partial run univalent —
+  each algorithm's last pre-decision round is valency-free, one round
+  apart: the lower bound made visible in the valency lattice.
+"""
+
+from repro import ATt2, FloodSet
+from repro.analysis.tables import format_table
+from repro.lowerbound.bivalency import find_bivalent_initial, initial_valencies
+from repro.lowerbound.valency import classify_partial_runs
+
+from conftest import emit
+
+N, T = 3, 1
+
+
+def valency_census():
+    results = {}
+    # Initial configurations (Lemma 3).
+    results["att2_initial"] = initial_valencies(ATt2.factory(), N, T)
+    results["floodset_initial"] = initial_valencies(
+        FloodSet, N, T, crash_rounds_limit=T + 1
+    )
+    # Round-t and round-(t+1) partial runs for the two deciders.
+    proposals = find_bivalent_initial(ATt2.factory(), N, T)
+    results["floodset_t"] = classify_partial_runs(
+        FloodSet, proposals, t=T, prefix_rounds=T,
+        crash_rounds_limit=T + 1,
+    )
+    results["att2_t"] = classify_partial_runs(
+        ATt2.factory(), proposals, t=T, prefix_rounds=T
+    )
+    results["att2_t_plus_1"] = classify_partial_runs(
+        ATt2.factory(), proposals, t=T, prefix_rounds=T + 1
+    )
+    return results
+
+
+def bivalent_count(classified):
+    return sum(1 for _events, values in classified if len(values) > 1)
+
+
+def test_valency_structure(benchmark):
+    results = benchmark.pedantic(valency_census, rounds=1, iterations=1)
+
+    att2_initial_bivalent = sum(
+        1 for _p, v in results["att2_initial"] if len(v) > 1
+    )
+    floodset_initial_bivalent = sum(
+        1 for _p, v in results["floodset_initial"] if len(v) > 1
+    )
+    rows = [
+        ("A_t+2", "initial configs C_0..C_n",
+         len(results["att2_initial"]), att2_initial_bivalent),
+        ("FloodSet", "initial configs C_0..C_n",
+         len(results["floodset_initial"]), floodset_initial_bivalent),
+        ("FloodSet", "t-round serial partial runs",
+         len(results["floodset_t"]), bivalent_count(results["floodset_t"])),
+        ("A_t+2", "t-round serial partial runs",
+         len(results["att2_t"]), bivalent_count(results["att2_t"])),
+        ("A_t+2", "(t+1)-round serial partial runs",
+         len(results["att2_t_plus_1"]),
+         bivalent_count(results["att2_t_plus_1"])),
+    ]
+    emit(
+        format_table(
+            ["algorithm", "partial runs", "count", "bivalent"],
+            rows,
+            title=f"E2: valency census (n={N}, t={T})",
+        )
+    )
+
+    # Lemma 3: bivalent initial configurations exist for both.
+    assert att2_initial_bivalent >= 1
+    assert floodset_initial_bivalent >= 1
+    # Lemma 2 (per decider): the round before decision is univalent.
+    assert bivalent_count(results["floodset_t"]) == 0
+    assert bivalent_count(results["att2_t_plus_1"]) == 0

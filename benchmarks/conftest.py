@@ -1,0 +1,16 @@
+"""Shared helpers for the experiment benches.
+
+Each bench file reproduces one experiment from DESIGN.md's index (E1–E11):
+it *asserts* the paper's claim (shape, not absolute numbers) and prints the
+reproduced table — run ``pytest benchmarks/ --benchmark-only -s`` to see
+the tables alongside pytest-benchmark's timing output.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(table: str) -> None:
+    """Print an experiment table (flushes so tables interleave sanely)."""
+    print("\n" + table, file=sys.stderr, flush=True)

@@ -1,0 +1,73 @@
+"""Build the paper's Figure 1: the five runs behind the t + 2 lower bound.
+
+Usage::
+
+    python examples/figure1_construction.py
+
+Claim 5.1 of the paper constructs two synchronous runs (s1, s0) and three
+asynchronous runs (a2, a1, a0) such that an algorithm deciding at round
+t + 1 in synchronous runs is forced into disagreement.  This script builds
+all five runs for the real algorithm A_{t+2}, machine-checks the
+indistinguishability claims on the traces, and shows how A_{t+2} escapes
+the trap: by never deciding before t + 2.
+"""
+
+from repro import ATt2
+from repro.analysis.tables import format_table
+from repro.lowerbound.figure1 import build_figure_one, canonical_config
+
+
+def main():
+    n, t = 5, 2
+    config = canonical_config(n, t)
+    print(f"System: n={n}, t={t}; proposals {list(config.proposals)}")
+    print(f"Value-hiding prefix crashes: {dict(config.prefix)}")
+    print(f"p'_1 = p{config.p_one} (the falsely suspected carrier), "
+          f"p'_i+1 = p{config.p_i_plus_1} (the pivotal process)")
+    print(f"suspect set S = {sorted(config.suspects)}")
+
+    report = build_figure_one(ATt2.factory(), config)
+    pivot = config.p_i_plus_1
+
+    print("\nThe five runs (rounds t and t+1 are where they differ):")
+    for name in ("s1", "s0", "a2", "a1", "a0"):
+        print(f"\n--- {name} ---")
+        print(report.traces[name].schedule.describe())
+
+    print("\n" + format_table(
+        ["run", "decision values", "global decision round"],
+        [(run, str(values), str(round_))
+         for run, values, round_ in report.decision_table()],
+        title="Decisions",
+    ))
+
+    print(f"\nk' (a2's global decision round) = {report.k_prime}")
+    print("\nMachine-checked indistinguishability claims:")
+    print(f"  p{pivot} cannot tell a1 from s1 through round t+1: "
+          f"{report.claim_a1_s1}")
+    print(f"  p{pivot} cannot tell a0 from s0 through round t+1: "
+          f"{report.claim_a0_s0}")
+    print(f"  nobody else can tell a2/a1/a0 apart through round k': "
+          f"{report.claim_common}")
+
+    s1, s0 = report.traces["s1"], report.traces["s0"]
+    a1, a0 = report.traces["a1"], report.traces["a0"]
+    print("\nThe trap, spelled out:")
+    print(f"  s1 decides {s1.decided_values()}, s0 decides "
+          f"{s0.decided_values()} — both are synchronous runs.")
+    print(f"  If the algorithm decided at t+1 = {t + 1} in synchronous "
+          f"runs, p{pivot} would decide")
+    print(f"  {s1.decided_values()} in a1 and {s0.decided_values()} in a0 "
+          f"(its views are identical),")
+    print("  while every other process, unable to distinguish a1 from a0,")
+    print("  would decide one common value in both — a contradiction.")
+    print(f"\nHow A_t+2 escapes: p{pivot} decides nothing by round t+1 "
+          f"(in a1 it decided at round "
+          f"{a1.decision_round(pivot)}), and the other processes decide "
+          f"{a1.decided_values() | a0.decided_values()} in both runs.")
+    print("The one extra round is not an artifact — it is the price of "
+          "indulgence.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: run the paper's algorithm A_{t+2} on a few adversary schedules.
+
+Usage::
+
+    python examples/quickstart.py
+
+Walks through the core API: build a schedule, run an algorithm against it,
+inspect the trace, and check the consensus properties.
+"""
+
+from repro import ATt2, Schedule, ScheduleBuilder, run_algorithm
+from repro.analysis.metrics import assert_consensus, summarize
+
+
+def section(title):
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main():
+    n, t = 5, 2
+    proposals = [3, 1, 4, 1, 5]
+
+    section("1. A failure-free synchronous run")
+    schedule = Schedule.failure_free(n, t, horizon=10)
+    trace = run_algorithm(ATt2.factory(), schedule, proposals)
+    assert_consensus(trace)
+    print(trace.describe())
+    print(f"global decision round: {trace.global_decision_round()} "
+          f"(the paper's t + 2 = {t + 2})")
+
+    section("2. A synchronous run with a crash cascade (still t + 2)")
+    schedule = Schedule.synchronous(
+        n, t, horizon=10,
+        crashes={0: (1, [1]), 4: (2, [])},  # p0 dies telling only p1
+    )
+    trace = run_algorithm(ATt2.factory(), schedule, proposals)
+    assert_consensus(trace)
+    print(schedule.describe())
+    print(f"decisions: {dict(trace.decisions)}")
+    print(f"global decision round: {trace.global_decision_round()}")
+
+    section("3. An asynchronous prefix: indulgence at work")
+    builder = ScheduleBuilder(n, t, horizon=24)
+    for k in (1, 2, 3):  # p0 is 'slow' for three rounds: false suspicions
+        for receiver in range(1, n):
+            builder.delay(0, receiver, k, k + 1)
+    schedule = builder.build()
+    trace = run_algorithm(ATt2.factory(), schedule, proposals)
+    assert_consensus(trace)
+    summary = summarize(trace)
+    print(f"synchronous from round K = {summary.sync_from}")
+    print(f"decisions: {dict(trace.decisions)}")
+    print("False suspicions delayed the decision past t + 2 — but never")
+    print("corrupted it: that is what 'indulgent' means.")
+
+
+if __name__ == "__main__":
+    main()

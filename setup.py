@@ -1,0 +1,21 @@
+"""Setup shim for legacy editable installs (offline environments).
+
+The runtime environment for this reproduction has no network access and no
+`wheel` package, so PEP 660 editable installs are unavailable; this
+setup.py lets `pip install -e .` fall back to `setup.py develop`.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Dutta & Guerraoui, 'The inherent price of "
+        "indulgence' (PODC 2002): the t+2 tight bound for indulgent "
+        "consensus."
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

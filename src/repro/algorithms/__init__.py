@@ -1,0 +1,34 @@
+"""Consensus algorithm automata: the paper's baselines and substrates.
+
+Every algorithm is a deterministic :class:`~repro.algorithms.base.Automaton`
+subclass driven round-by-round by the kernel.  This package contains the
+published algorithms the paper builds on or compares against:
+
+* :mod:`repro.algorithms.floodset` — FloodSet (Lynch), consensus in SCS in
+  exactly t + 1 rounds; the synchronous yardstick.
+* :mod:`repro.algorithms.floodset_ws` — FloodSetWS (Charron-Bost,
+  Guerraoui, Schiper), the P-based ancestor of A_{t+2}.
+* :mod:`repro.algorithms.chandra_toueg` — a rotating-coordinator ◇S
+  consensus in the style of Chandra–Toueg, transposed to ES; used as the
+  underlying module C of A_{t+2}.
+* :mod:`repro.algorithms.hurfin_raynal` — a two-phase rotating-coordinator
+  ◇S consensus in the style of Hurfin–Raynal; the paper's 2t + 2 baseline.
+* :mod:`repro.algorithms.amr_leader` — the leader-based consensus of
+  Mostéfaoui–Raynal (two steps per leader generation); the k + 2f + 2
+  baseline of Section 6.
+* :mod:`repro.algorithms.early_deciding` — an early-deciding SCS consensus
+  (min(f + 2, t + 1) rounds), context for the Section 6 corollary.
+
+The paper's own algorithms (A_{t+2} and friends) live in :mod:`repro.core`.
+"""
+
+from repro.algorithms.base import AlgorithmFactory, Automaton, make_automata
+from repro.algorithms.registry import available_algorithms, get_factory
+
+__all__ = [
+    "AlgorithmFactory",
+    "Automaton",
+    "make_automata",
+    "available_algorithms",
+    "get_factory",
+]

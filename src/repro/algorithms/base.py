@@ -1,0 +1,134 @@
+"""The automaton contract every consensus algorithm implements.
+
+The kernel drives each process's automaton through rounds: first
+:meth:`Automaton.payload` (send phase), then :meth:`Automaton.deliver`
+(receive phase).  Automata are strictly deterministic — their behaviour is
+a function of (pid, n, t, proposal) and the delivered messages — which is
+what makes run views comparable across schedules.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from repro.errors import AlgorithmError
+from repro.model.messages import Message
+from repro.types import Payload, ProcessId, Round, Value, validate_system_size
+
+
+class Automaton(ABC):
+    """One process's deterministic state machine.
+
+    Subclasses implement :meth:`payload` and :meth:`deliver` and report
+    decisions via :meth:`_decide`; they signal that the process *returns*
+    from the consensus invocation via :meth:`_halt` (after which the kernel
+    stops driving the automaton — it sends nothing and receives nothing).
+    """
+
+    def __init__(self, pid: ProcessId, n: int, t: int, proposal: Value):
+        validate_system_size(n, t)
+        if not 0 <= pid < n:
+            raise AlgorithmError(f"pid {pid} out of range 0..{n - 1}")
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.proposal = proposal
+        self._decision: Value | None = None
+        self._decision_round: Round | None = None
+        self._halted = False
+
+    # -- kernel-facing API ---------------------------------------------------
+
+    @abstractmethod
+    def payload(self, k: Round) -> Payload | None:
+        """The payload to broadcast in round *k*.
+
+        Returning ``None`` means the algorithm generates no message; the
+        kernel substitutes a dummy (the paper's footnote 1 keeps the
+        all-to-all exchange pattern alive for suspicion semantics).
+        """
+
+    @abstractmethod
+    def deliver(self, k: Round, messages: tuple[Message, ...]) -> None:
+        """Process the messages received in round *k* (receive phase).
+
+        *messages* contains round-k messages delivered in round k **and**
+        any earlier-round messages whose delayed delivery lands in round k,
+        in canonical order.  Round-based algorithms typically act on
+        current-round messages (``m.sent_round == k``) and on control
+        messages such as DECIDE regardless of age.
+        """
+
+    # -- decision / halting -----------------------------------------------
+
+    @property
+    def decision(self) -> Value | None:
+        return self._decision
+
+    @property
+    def decision_round(self) -> Round | None:
+        return self._decision_round
+
+    @property
+    def decided(self) -> bool:
+        return self._decision is not None
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def _decide(self, value: Value, k: Round) -> None:
+        """Record a decision.  Deciding twice with different values is a bug."""
+        if self._decision is not None:
+            if self._decision != value:
+                raise AlgorithmError(
+                    f"p{self.pid} decided {self._decision!r} at round "
+                    f"{self._decision_round} and now {value!r} at round {k}"
+                )
+            return
+        self._decision = value
+        self._decision_round = k
+
+    def _halt(self) -> None:
+        self._halted = True
+
+    # -- shared helpers ------------------------------------------------------
+
+    @staticmethod
+    def current_round(
+        messages: Sequence[Message], k: Round
+    ) -> tuple[Message, ...]:
+        """The subset of *messages* that were sent in round *k*."""
+        return tuple(m for m in messages if m.sent_round == k)
+
+    def others(self) -> tuple[ProcessId, ...]:
+        """All process ids except this process's own."""
+        return tuple(p for p in range(self.n) if p != self.pid)
+
+    def __repr__(self) -> str:
+        state = "halted" if self._halted else (
+            f"decided={self._decision!r}" if self.decided else "running"
+        )
+        return f"{type(self).__name__}(p{self.pid}, {state})"
+
+
+AlgorithmFactory = Callable[[ProcessId, int, int, Value], Automaton]
+"""Constructor signature shared by all algorithms: (pid, n, t, proposal)."""
+
+
+def make_automata(
+    factory: AlgorithmFactory,
+    n: int,
+    t: int,
+    proposals: Sequence[Value],
+) -> list[Automaton]:
+    """Instantiate one automaton per process for a run.
+
+    ``proposals[i]`` is process i's proposal; its length must be *n*.
+    """
+    if len(proposals) != n:
+        raise AlgorithmError(
+            f"need {n} proposals, got {len(proposals)}"
+        )
+    return [factory(pid, n, t, proposals[pid]) for pid in range(n)]

@@ -1,0 +1,120 @@
+"""A Chandra–Toueg-style ◇S rotating-coordinator consensus, transposed to ES.
+
+This is the paper's "underlying consensus algorithm C" (Figure 2 assumes
+"any round-based ◇P or ◇S consensus algorithm, e.g. the one based on ◇S in
+[Chandra & Toueg 1996], transposed to the ES model").  The transposition
+follows the paper's Section 4: a process suspects exactly the processes
+from which it received no current-round message.
+
+Structure — three ES rounds per *cycle* ρ with coordinator c(ρ) = (ρ−1) mod n:
+
+1. **Estimate round** (round 3ρ−2): every process sends ``(CT_EST, ρ, est,
+   ts)``; the coordinator records what it receives.
+2. **Proposal round** (round 3ρ−1): the coordinator picks the estimate
+   with the highest timestamp among the ≥ n−t estimates received (ties
+   broken by lowest sender id) and broadcasts ``(CT_PROP, ρ, v)``.
+3. **Ack round** (round 3ρ): a process that received the proposal adopts
+   it (est ← v, ts ← ρ) and sends ``(CT_ACK, ρ, v)``; otherwise it sends
+   ``(CT_NACK, ρ)``.  A process receiving acks from a majority decides v.
+
+Safety is the classic locking argument: a decision at cycle ρ implies a
+majority adopted (v, ρ); every later coordinator reads ≥ n−t > n/2
+estimates, so its highest timestamp is ≥ ρ and carries v.  Termination in
+ES: after the synchrony round, the first cycle with a correct coordinator
+makes everyone decide.
+
+In worst-case synchronous runs (coordinators crashing one per cycle) the
+algorithm needs **3t + 3** rounds for a global decision — one of the data
+points in the price-of-indulgence comparison (E5).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.common import ConsensusAutomaton
+from repro.model.messages import Message
+from repro.types import Payload, ProcessId, Round, Value
+
+CT_EST = "CT_EST"
+CT_PROP = "CT_PROP"
+CT_NACK = "CT_NACK"
+CT_ACK = "CT_ACK"
+
+ROUNDS_PER_CYCLE = 3
+
+
+def cycle_of(k: Round) -> tuple[int, int]:
+    """Map an ES round to (cycle, phase) with phase in {1, 2, 3}."""
+    cycle, phase = divmod(k - 1, ROUNDS_PER_CYCLE)
+    return cycle + 1, phase + 1
+
+
+class ChandraTouegES(ConsensusAutomaton):
+    """Rotating-coordinator ◇S consensus in ES (3 rounds per cycle)."""
+
+    def __init__(self, pid: ProcessId, n: int, t: int, proposal: Value):
+        super().__init__(pid, n, t, proposal)
+        self.est: Value = proposal
+        self.ts: int = 0
+        self._collected: dict[ProcessId, tuple[Value, int]] = {}
+        self._proposal_seen: Value | None = None
+
+    @staticmethod
+    def coordinator(cycle: int, n: int) -> ProcessId:
+        return (cycle - 1) % n
+
+    def round_payload(self, k: Round) -> Payload | None:
+        cycle, phase = cycle_of(k)
+        if phase == 1:
+            return (CT_EST, cycle, self.est, self.ts)
+        if phase == 2:
+            if self.pid != self.coordinator(cycle, self.n):
+                return None
+            if len(self._collected) < self.n - self.t:
+                return None
+            # Highest timestamp wins; ties broken by lowest sender id for
+            # determinism.
+            best_sender = max(
+                self._collected,
+                key=lambda p: (self._collected[p][1], -p),
+            )
+            return (CT_PROP, cycle, self._collected[best_sender][0])
+        if self._proposal_seen is not None:
+            return (CT_ACK, cycle, self._proposal_seen)
+        return (CT_NACK, cycle)
+
+    def round_deliver(self, k: Round, messages: tuple[Message, ...]) -> None:
+        cycle, phase = cycle_of(k)
+        current = self.current_round(messages, k)
+        if phase == 1:
+            self._collected = {}
+            self._proposal_seen = None
+            if self.pid == self.coordinator(cycle, self.n):
+                for m in current:
+                    if m.tag == CT_EST and m.payload[1] == cycle:
+                        self._collected[m.sender] = (
+                            m.payload[2],
+                            m.payload[3],
+                        )
+        elif phase == 2:
+            coordinator = self.coordinator(cycle, self.n)
+            for m in current:
+                if (
+                    m.tag == CT_PROP
+                    and m.sender == coordinator
+                    and m.payload[1] == cycle
+                ):
+                    self._proposal_seen = m.payload[2]
+                    self.est = m.payload[2]
+                    self.ts = cycle
+        else:
+            acks = [
+                m
+                for m in current
+                if m.tag == CT_ACK and m.payload[1] == cycle
+            ]
+            if len(acks) > self.n // 2:
+                self._decide(acks[0].payload[2], k)
+
+    @classmethod
+    def factory(cls):
+        return cls

@@ -1,0 +1,67 @@
+"""Early-deciding uniform consensus in SCS — min(f + 2, t + 1) rounds.
+
+Context for Section 6 of the paper: in SCS, uniform consensus can decide by
+round f + 2 in runs with f < t − 1 crashes (Charron-Bost & Schiper; Keidar
+& Rajsbaum), and by t + 1 always.  The paper's corollary shows the
+*indulgent* analogue costs f + 2 in ES — so early decision is where the
+synchronous and indulgent worlds meet: both pay f + 2 for 0 < f.
+
+Algorithm (FloodSet plus stable-round detection): every process floods the
+set W of values seen, and tracks ``absent_k`` — the processes from which no
+round-k message arrived.  Since suspicions in SCS are accurate,
+``absent_{k-1} == absent_k`` means round k was *clean for this process*: it
+heard from every process it heard from before, so its W already contains
+everything any process alive at the start of round k knew.  It then decides
+``min(W)`` and announces.  With f crashes at most f of the first f + 2
+rounds can be dirty, so some round among 2..f+2 is stable and decision
+happens by round f + 2; the unconditional FloodSet decision at t + 1 caps
+the worst case.
+
+The exhaustive serial-run checker (E9) verifies uniform agreement for this
+rule over every serial schedule for small (n, t).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.common import ConsensusAutomaton
+from repro.model.messages import Message
+from repro.types import Payload, ProcessId, Round, Value
+
+EFLOOD = "EFLOOD"
+
+
+class EarlyDecidingSCS(ConsensusAutomaton):
+    """FloodSet with early decision at the first stable round (>= 2)."""
+
+    def __init__(self, pid: ProcessId, n: int, t: int, proposal: Value):
+        super().__init__(pid, n, t, proposal)
+        self.known: frozenset[Value] = frozenset({proposal})
+        self._absent_previous: frozenset[ProcessId] | None = None
+
+    def round_payload(self, k: Round) -> Payload | None:
+        return (EFLOOD, k, self.known)
+
+    def round_deliver(self, k: Round, messages: tuple[Message, ...]) -> None:
+        current = [
+            m for m in self.current_round(messages, k) if m.tag == EFLOOD
+        ]
+        union = set(self.known)
+        for message in current:
+            union.update(message.payload[2])
+        self.known = frozenset(union)
+        absent = (
+            frozenset(range(self.n))
+            - {m.sender for m in current}
+            - {self.pid}
+        )
+        stable = (
+            self._absent_previous is not None
+            and absent == self._absent_previous
+        )
+        self._absent_previous = absent
+        if stable or k == self.t + 1:
+            self._decide(min(self.known), k)
+
+    @classmethod
+    def factory(cls):
+        return cls

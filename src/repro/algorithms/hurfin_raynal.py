@@ -1,0 +1,99 @@
+"""A Hurfin–Raynal-style ◇S consensus — the paper's 2t + 2 baseline.
+
+Hurfin & Raynal (Distributed Computing 1999) gave "a simple and fast
+asynchronous consensus protocol based on a weak failure detector" with two
+communication steps per coordinator.  The paper singles it out as the most
+efficient indulgent algorithm previously known — and notes it has a
+synchronous run requiring **2t + 2** rounds for a global decision, against
+which A_{t+2}'s t + 2 is the improvement.
+
+Transposition to ES, two rounds per cycle ρ with coordinator
+c(ρ) = (ρ−1) mod n:
+
+1. **Proposal round** (round 2ρ−1): the coordinator broadcasts
+   ``(HR_PROP, ρ, est)``; everyone else sends dummies.
+2. **Echo round** (round 2ρ): a process that received the proposal v sends
+   ``(HR_ACK, ρ, v)``, otherwise ``(HR_NACK, ρ)``.  On reception: any ack
+   makes the process adopt v (est ← v); acks from ≥ n−t processes make it
+   decide v.
+
+Safety: only the coordinator's single value circulates within a cycle, so
+all acks of a cycle carry the same v.  If someone decides v at cycle ρ it
+saw n−t acks; any process completing the cycle receives ≥ n−t round-2ρ
+messages, which must include at least (n−t) + (n−t) − n = n − 2t ≥ 1 ack —
+so every survivor adopts v before the next cycle, and later coordinators
+can only propose v.
+
+Worst case in synchronous runs: crash coordinators p_0 … p_{t−1} one per
+cycle before they manage to propose; cycle t + 1 then succeeds, deciding
+at round 2(t + 1) = **2t + 2** (reproduced in E5/E6).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.common import ConsensusAutomaton
+from repro.model.messages import Message
+from repro.types import Payload, ProcessId, Round, Value
+
+HR_PROP = "HR_PROP"
+HR_ACK = "HR_ACK"
+HR_NACK = "HR_NACK"
+
+ROUNDS_PER_CYCLE = 2
+
+
+def cycle_of(k: Round) -> tuple[int, int]:
+    """Map an ES round to (cycle, phase) with phase in {1, 2}."""
+    cycle, phase = divmod(k - 1, ROUNDS_PER_CYCLE)
+    return cycle + 1, phase + 1
+
+
+class HurfinRaynalES(ConsensusAutomaton):
+    """Two-phase rotating-coordinator ◇S consensus in ES."""
+
+    def __init__(self, pid: ProcessId, n: int, t: int, proposal: Value):
+        super().__init__(pid, n, t, proposal)
+        self.est: Value = proposal
+        self._proposal_seen: Value | None = None
+
+    @staticmethod
+    def coordinator(cycle: int, n: int) -> ProcessId:
+        return (cycle - 1) % n
+
+    def round_payload(self, k: Round) -> Payload | None:
+        cycle, phase = cycle_of(k)
+        if phase == 1:
+            if self.pid == self.coordinator(cycle, self.n):
+                return (HR_PROP, cycle, self.est)
+            return None
+        if self._proposal_seen is not None:
+            return (HR_ACK, cycle, self._proposal_seen)
+        return (HR_NACK, cycle)
+
+    def round_deliver(self, k: Round, messages: tuple[Message, ...]) -> None:
+        cycle, phase = cycle_of(k)
+        current = self.current_round(messages, k)
+        if phase == 1:
+            coordinator = self.coordinator(cycle, self.n)
+            self._proposal_seen = None
+            for m in current:
+                if (
+                    m.tag == HR_PROP
+                    and m.sender == coordinator
+                    and m.payload[1] == cycle
+                ):
+                    self._proposal_seen = m.payload[2]
+        else:
+            acks = [
+                m
+                for m in current
+                if m.tag == HR_ACK and m.payload[1] == cycle
+            ]
+            if acks:
+                self.est = acks[0].payload[2]
+            if len(acks) >= self.n - self.t:
+                self._decide(acks[0].payload[2], k)
+
+    @classmethod
+    def factory(cls):
+        return cls

@@ -1,0 +1,103 @@
+"""Name-based registry of all consensus algorithms in the package.
+
+Benches, sweeps and examples refer to algorithms by name; the registry maps
+names to :data:`~repro.algorithms.base.AlgorithmFactory` callables together
+with the model each algorithm is designed for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.algorithms.base import AlgorithmFactory
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Registry entry: how to build an algorithm and where it is sound.
+
+    Attributes:
+        name: registry key.
+        model: "SCS" or "ES" — the model the algorithm solves consensus in.
+        make: zero-argument callable returning a fresh factory.
+        summary: one-line description for tables.
+    """
+
+    name: str
+    model: str
+    make: Callable[[], AlgorithmFactory]
+    summary: str
+
+
+def _entries() -> dict[str, AlgorithmInfo]:
+    # Imports are local so that `repro.algorithms` never imports
+    # `repro.core` at module load time (core depends on algorithms).
+    from repro.algorithms.amr_leader import AMRLeaderES
+    from repro.algorithms.chandra_toueg import ChandraTouegES
+    from repro.algorithms.early_deciding import EarlyDecidingSCS
+    from repro.algorithms.floodset import FloodSet
+    from repro.algorithms.floodset_ws import FloodSetWS
+    from repro.algorithms.hurfin_raynal import HurfinRaynalES
+    from repro.core.adiamond_s import ADiamondS
+    from repro.core.afp2 import AFPlus2
+    from repro.core.att2 import ATt2
+    from repro.core.att2_optimized import ATt2Optimized
+
+    infos = [
+        AlgorithmInfo(
+            "floodset", "SCS", lambda: FloodSet,
+            "FloodSet: t+1 rounds in SCS (Lynch)",
+        ),
+        AlgorithmInfo(
+            "floodset_ws", "SCS", lambda: FloodSetWS,
+            "FloodSetWS: t+1 rounds with perfect failure detection (CGS)",
+        ),
+        AlgorithmInfo(
+            "early_deciding", "SCS", lambda: EarlyDecidingSCS,
+            "Early-deciding SCS consensus: min(f+2, t+1) rounds",
+        ),
+        AlgorithmInfo(
+            "chandra_toueg", "ES", lambda: ChandraTouegES,
+            "Chandra-Toueg-style ◇S consensus in ES (3 rounds/cycle)",
+        ),
+        AlgorithmInfo(
+            "hurfin_raynal", "ES", lambda: HurfinRaynalES,
+            "Hurfin-Raynal-style ◇S consensus in ES (2 rounds/cycle)",
+        ),
+        AlgorithmInfo(
+            "amr_leader", "ES", lambda: AMRLeaderES,
+            "Mostefaoui-Raynal leader-based consensus (t < n/3)",
+        ),
+        AlgorithmInfo(
+            "att2", "ES", ATt2.factory,
+            "A_{t+2}: the paper's matching algorithm (Figure 2)",
+        ),
+        AlgorithmInfo(
+            "att2_optimized", "ES", ATt2Optimized.factory,
+            "A_{t+2} + failure-free round-2 decision (Figure 4)",
+        ),
+        AlgorithmInfo(
+            "adiamond_s", "ES", ADiamondS.factory,
+            "A_◇S: the ◇S transposition (Figure 3)",
+        ),
+        AlgorithmInfo(
+            "afp2", "ES", lambda: AFPlus2,
+            "A_{f+2}: eventual fast decision, t < n/3 (Figure 5)",
+        ),
+    ]
+    return {info.name: info for info in infos}
+
+
+def available_algorithms() -> dict[str, AlgorithmInfo]:
+    """All registered algorithms, keyed by name."""
+    return _entries()
+
+
+def get_factory(name: str) -> AlgorithmFactory:
+    """The factory for algorithm *name* (raises KeyError with suggestions)."""
+    entries = _entries()
+    if name not in entries:
+        known = ", ".join(sorted(entries))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}")
+    return entries[name].make()

@@ -1,0 +1,80 @@
+"""Estimate/Halt bookkeeping shared by FloodSetWS and A_{t+2}.
+
+Both algorithms flood ``(ESTIMATE, k, est, Halt)`` messages and run the
+same per-round update — the paper's procedure ``compute()`` (Figure 2,
+lines 33–35):
+
+1. ``Halt_i`` gains every process p_j that p_i suspected this round (no
+   round-k message received from p_j in round k) and every p_j whose
+   message shows p_j suspected p_i in an earlier round (p_i ∈ Halt_j).
+2. ``msgSet_i`` is the set of round-k ESTIMATE messages whose senders are
+   not in the updated ``Halt_i``.
+3. ``est_i`` becomes the minimum est value in ``msgSet_i``.
+
+A process never suspects itself (the paper's assumption 2), and since
+self-delivery is immediate, p_i's own message is always in ``msgSet_i`` —
+so ``est_i`` is monotonically non-increasing and ``msgSet_i`` is never
+empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.messages import Message
+from repro.types import Payload, ProcessId, Round, Value
+
+ESTIMATE = "ESTIMATE"
+
+
+def estimate_payload(
+    k: Round, est: Value, halt: frozenset[ProcessId]
+) -> Payload:
+    return (ESTIMATE, k, est, halt)
+
+
+@dataclass
+class EstimateState:
+    """Mutable Phase-1 state of one process: (est, Halt)."""
+
+    pid: ProcessId
+    n: int
+    est: Value
+    halt: frozenset[ProcessId] = frozenset()
+
+    def payload(self, k: Round) -> Payload:
+        return estimate_payload(k, self.est, self.halt)
+
+    def compute(self, k: Round, messages: tuple[Message, ...]) -> None:
+        """The paper's ``compute()`` for round k.
+
+        *messages* is the full round-k delivery; only current-round
+        ESTIMATE messages participate (delayed estimates are stale and the
+        suspicion semantics are defined on current-round receipt).
+        """
+        current = [
+            m
+            for m in messages
+            if m.sent_round == k and m.tag == ESTIMATE
+        ]
+        senders = {m.sender for m in current}
+        suspected_now = frozenset(range(self.n)) - senders - {self.pid}
+        suspecting_me = frozenset(
+            m.sender for m in current if self.pid in m.payload[3]
+        )
+        self.halt = self.halt | suspected_now | suspecting_me
+        msg_set = [m for m in current if m.sender not in self.halt]
+        if msg_set:
+            self.est = min(m.payload[2] for m in msg_set)
+
+    def msg_set_senders(
+        self, k: Round, messages: tuple[Message, ...]
+    ) -> frozenset[ProcessId]:
+        """Senders of the current-round messages outside Halt (for checks)."""
+        return frozenset(
+            m.sender
+            for m in messages
+            if m.sent_round == k
+            and m.tag == ESTIMATE
+            and m.sender not in self.halt
+        )

@@ -1,0 +1,200 @@
+"""Compact, importable versions of the paper's experiments.
+
+The authoritative experiment definitions live in ``benchmarks/`` (one
+bench per experiment, with assertions and timings).  This module exposes
+lightweight row-generators for the table-shaped experiments so that the
+CLI (``python -m repro experiments``) and the report example can print
+them without depending on the bench files.
+
+Every function returns ``(title, headers, rows)`` ready for
+:func:`repro.analysis.tables.format_table`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sweep import run_case, worst_case_round
+from repro.model.schedule import Schedule
+from repro.sim.kernel import run_algorithm
+
+Table = tuple[str, list[str], list[tuple]]
+
+
+def price_of_indulgence(n: int = 5, t: int = 2) -> Table:
+    """E5: worst-case synchronous decision rounds, per algorithm."""
+    from repro.algorithms.chandra_toueg import ChandraTouegES
+    from repro.algorithms.floodset import FloodSet
+    from repro.algorithms.hurfin_raynal import HurfinRaynalES
+    from repro.core.att2 import ATt2
+    from repro.workloads import (
+        coordinator_killer,
+        serial_cascade,
+        value_hiding_chain,
+    )
+
+    workloads = [
+        ("failure_free", Schedule.failure_free(n, t, 24)),
+        ("cascade", serial_cascade(n, t, 24)),
+        ("hiding_chain", value_hiding_chain(n, t, 24)),
+        ("killer2", coordinator_killer(n, t, 24, rounds_per_cycle=2)),
+        ("killer3", coordinator_killer(n, t, 24, rounds_per_cycle=3)),
+    ]
+    rows = []
+    for name, factory, paper in (
+        ("FloodSet (SCS)", FloodSet, t + 1),
+        ("A_t+2 (ES)", ATt2.factory(), t + 2),
+        ("Hurfin-Raynal (ES)", HurfinRaynalES, 2 * t + 2),
+        ("Chandra-Toueg (ES)", ChandraTouegES, 3 * t + 3),
+    ):
+        worst, witness = worst_case_round(factory, workloads, list(range(n)))
+        rows.append((name, worst, paper, witness))
+    return (
+        f"E5: the price of indulgence (n={n}, t={t})",
+        ["algorithm", "worst sync round", "paper", "witness"],
+        rows,
+    )
+
+
+def diamond_s_gap(resiliences: tuple[int, ...] = (1, 2, 3)) -> Table:
+    """E6: A_◇S (t+2) vs Hurfin–Raynal (2t+2) on coordinator killers."""
+    from repro.algorithms.hurfin_raynal import HurfinRaynalES
+    from repro.core.adiamond_s import ADiamondS
+    from repro.workloads import coordinator_killer
+
+    rows = []
+    for t in resiliences:
+        n = 2 * t + 1
+        schedule = coordinator_killer(n, t, 2 * t + 6, rounds_per_cycle=2)
+        asd, _ = run_case("a", ADiamondS.factory(), "k", schedule,
+                          list(range(n)))
+        hr, _ = run_case("h", HurfinRaynalES, "k", schedule,
+                         list(range(n)))
+        rows.append((n, t, asd.global_round, t + 2,
+                     hr.global_round, 2 * t + 2))
+    return (
+        "E6: A_dS vs Hurfin-Raynal on coordinator-killer runs",
+        ["n", "t", "A_dS", "paper t+2", "HR", "paper 2t+2"],
+        rows,
+    )
+
+
+def failure_free_optimization(
+    systems: tuple[tuple[int, int], ...] = ((3, 1), (5, 2), (7, 3)),
+) -> Table:
+    """E7: the Figure-4 optimization decides at round 2 failure-free."""
+    from repro.core.att2 import ATt2
+    from repro.core.att2_optimized import ATt2Optimized
+    from repro.workloads import serial_cascade
+
+    rows = []
+    for n, t in systems:
+        ff = Schedule.failure_free(n, t, t + 6)
+        crashy = serial_cascade(n, t, t + 6)
+        plain, _ = run_case("p", ATt2.factory(), "ff", ff, list(range(n)))
+        opt, _ = run_case("o", ATt2Optimized.factory(), "ff", ff,
+                          list(range(n)))
+        opt_crashy, _ = run_case("o", ATt2Optimized.factory(), "c",
+                                 crashy, list(range(n)))
+        rows.append((n, t, plain.global_round, opt.global_round,
+                     opt_crashy.global_round))
+    return (
+        "E7: Figure-4 optimization — round 2 when failure-free",
+        ["n", "t", "plain (ff)", "optimized (ff)", "optimized (cascade)"],
+        rows,
+    )
+
+
+def eventual_fast_decision(n: int = 7, t: int = 2) -> Table:
+    """E8: A_{f+2} vs AMR on sync-after-k runs with f late crashes."""
+    from repro.algorithms.amr_leader import AMRLeaderES
+    from repro.core.afp2 import AFPlus2
+    from repro.workloads import async_prefix
+
+    rows = []
+    for k in (0, 2, 4):
+        for f in (0, 1, 2):
+            schedule = async_prefix(n, t, k + f + 10, k=k, crashes_after=f)
+            afp2, _ = run_case("a", AFPlus2, "w", schedule, list(range(n)))
+            amr, _ = run_case("m", AMRLeaderES, "w", schedule,
+                              list(range(n)))
+            rows.append((k, f, afp2.global_round, k + f + 2,
+                         amr.global_round, k + 2 * f + 2))
+    return (
+        f"E8: eventual fast decision (n={n}, t={t})",
+        ["k", "f", "A_f+2", "bound k+f+2", "AMR", "bound k+2f+2"],
+        rows,
+    )
+
+
+def split_brain(cases: tuple[tuple[int, int], ...] = ((4, 2), (6, 3))) -> Table:
+    """E10: ES-legal partitions break agreement when t >= n/2."""
+    from repro.analysis.metrics import check_agreement
+    from repro.core.att2 import ATt2
+    from repro.workloads import partitioned_prefix
+
+    rows = []
+    for n, t in cases:
+        schedule = partitioned_prefix(
+            n, t, 2 * t + 6, rounds=2 * t + 4, heal_at=2 * t + 6
+        )
+        half = n // 2
+        factory = ATt2.factory(allow_unsafe_resilience=True)
+        trace = run_algorithm(
+            factory, schedule, [0] * half + [1] * (n - half)
+        )
+        rows.append((
+            n, t, str(sorted(trace.decided_values())),
+            "VIOLATED" if check_agreement(trace) else "ok",
+        ))
+    return (
+        "E10: split-brain under t >= n/2",
+        ["n", "t", "decisions", "agreement"],
+        rows,
+    )
+
+
+def detector_simulation(samples: int = 30) -> Table:
+    """E11: the simulated detector is P on SCS runs, ◇P on ES runs."""
+    from repro.detectors import (
+        EventuallyPerfect,
+        Perfect,
+        simulate_from_schedule,
+    )
+    from repro.sim.random_schedules import (
+        random_es_schedule,
+        random_scs_schedule,
+    )
+
+    scs_ok = scs_total = es_ok = es_total = 0
+    for seed in range(samples):
+        scs = random_scs_schedule(6, 2, seed, horizon=9)
+        last = max((s.round for s in scs.crashes.values()), default=0)
+        if last < scs.horizon:
+            scs_total += 1
+            scs_ok += Perfect.satisfied_by(simulate_from_schedule(scs))
+        es = random_es_schedule(6, 2, seed, horizon=16, sync_by=7)
+        last = max((s.round for s in es.crashes.values()), default=0)
+        if last < es.horizon:
+            es_total += 1
+            es_ok += EventuallyPerfect.satisfied_by(
+                simulate_from_schedule(es)
+            )
+    return (
+        "E11: simulated failure detectors",
+        ["property", "satisfied", "checked"],
+        [
+            ("SCS runs satisfying P", scs_ok, scs_total),
+            ("ES runs satisfying ◇P", es_ok, es_total),
+        ],
+    )
+
+
+def all_experiments() -> list[Table]:
+    """Every compact experiment, in presentation order."""
+    return [
+        price_of_indulgence(),
+        diamond_s_gap(),
+        failure_free_optimization(),
+        eventual_fast_decision(),
+        split_brain(),
+        detector_simulation(),
+    ]

@@ -1,0 +1,109 @@
+"""Parameter sweeps: run (algorithm × workload) grids and collect records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.algorithms.base import AlgorithmFactory
+from repro.analysis.metrics import check_agreement, check_validity
+from repro.model.schedule import Schedule
+from repro.sim.kernel import run_algorithm
+from repro.sim.trace import Trace
+from repro.types import Round, Value
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (algorithm, workload) measurement."""
+
+    algorithm: str
+    workload: str
+    n: int
+    t: int
+    crashes: int
+    sync_from: Round
+    global_round: Round | None
+    first_round: Round | None
+    deciders: int
+    agreement_ok: bool
+    validity_ok: bool
+    messages: int
+
+    def row(self) -> tuple:
+        return (
+            self.algorithm,
+            self.workload,
+            self.n,
+            self.t,
+            self.crashes,
+            self.sync_from,
+            self.global_round if self.global_round is not None else "-",
+            self.deciders,
+            "yes" if self.agreement_ok and self.validity_ok else "NO",
+        )
+
+    ROW_HEADERS = (
+        "algorithm", "workload", "n", "t", "f", "K",
+        "global round", "deciders", "safe",
+    )
+
+
+def run_case(
+    algorithm: str,
+    factory: AlgorithmFactory,
+    workload: str,
+    schedule: Schedule,
+    proposals: Sequence[Value],
+) -> tuple[SweepRecord, Trace]:
+    """Run one case and record its metrics (returns the trace for reuse)."""
+    trace = run_algorithm(factory, schedule, proposals)
+    record = SweepRecord(
+        algorithm=algorithm,
+        workload=workload,
+        n=schedule.n,
+        t=schedule.t,
+        crashes=len(schedule.crashes),
+        sync_from=schedule.sync_from(),
+        global_round=trace.global_decision_round(),
+        first_round=trace.first_decision_round(),
+        deciders=len(trace.decisions),
+        agreement_ok=not check_agreement(trace),
+        validity_ok=not check_validity(trace),
+        messages=trace.message_count(),
+    )
+    return record, trace
+
+
+def sweep(
+    cases: Iterable[
+        tuple[str, AlgorithmFactory, str, Schedule, Sequence[Value]]
+    ],
+) -> list[SweepRecord]:
+    """Run every case and return the records."""
+    return [
+        run_case(algorithm, factory, workload, schedule, proposals)[0]
+        for algorithm, factory, workload, schedule, proposals in cases
+    ]
+
+
+def worst_case_round(
+    factory: AlgorithmFactory,
+    schedules: Iterable[tuple[str, Schedule]],
+    proposals: Sequence[Value],
+) -> tuple[Round, str]:
+    """The maximum global decision round over the schedules, with its witness.
+
+    Schedules on which the run does not decide within the horizon count as
+    ``horizon + 1`` (a conservative lower estimate of the true round).
+    """
+    worst: Round = 0
+    witness = "<none>"
+    for name, schedule in schedules:
+        trace = run_algorithm(factory, schedule, proposals)
+        global_round = trace.global_decision_round()
+        if global_round is None:
+            global_round = schedule.horizon + 1
+        if global_round > worst:
+            worst, witness = global_round, name
+    return worst, witness

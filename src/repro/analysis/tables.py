@@ -1,0 +1,73 @@
+"""Minimal ASCII table rendering for benches and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified with ``str``; columns are left-aligned except
+    purely numeric columns, which are right-aligned.
+    """
+    body = [[str(cell) for cell in row] for row in rows]
+    header_cells = [str(h) for h in headers]
+    columns = len(header_cells)
+    for row in body:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row}"
+            )
+    widths = [
+        max(len(header_cells[i]), *(len(r[i]) for r in body)) if body
+        else len(header_cells[i])
+        for i in range(columns)
+    ]
+    numeric = [
+        bool(body) and all(_is_number(r[i]) for r in body)
+        for i in range(columns)
+    ]
+
+    def render(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(
+                cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i])
+            )
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(render(header_cells))
+    lines.append(separator)
+    for row in body:
+        lines.append(render(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def _is_number(text: str) -> bool:
+    if not text:
+        return False
+    try:
+        float(text)
+    except ValueError:
+        return text.isdigit()
+    return True
+
+
+def format_records(records, *, title: str | None = None) -> str:
+    """Render a list of :class:`~repro.analysis.sweep.SweepRecord`."""
+    if not records:
+        return "(no records)"
+    headers = type(records[0]).ROW_HEADERS
+    return format_table(headers, [r.row() for r in records], title=title)

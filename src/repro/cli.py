@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the algorithm registry with models and summaries.
+* ``run`` — execute one algorithm on one workload and print the trace,
+  optionally as a space-time diagram.
+* ``experiments`` — print the compact experiment tables (the full,
+  asserted versions live in ``benchmarks/``).
+
+Examples::
+
+    python -m repro list
+    python -m repro run --algorithm att2 --n 5 --t 2 \
+        --workload cascade --proposals 3,1,4,1,5 --diagram
+    python -m repro experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.algorithms.registry import available_algorithms, get_factory
+from repro.analysis.diagram import render_run
+from repro.analysis.metrics import check_consensus, summarize
+from repro.analysis.tables import format_table
+from repro.model.schedule import Schedule
+from repro.sim.kernel import run_algorithm
+
+
+def _build_workload(name: str, n: int, t: int, horizon: int,
+                    sync_after: int):
+    from repro.workloads import (
+        async_prefix,
+        block_crashes,
+        coordinator_killer,
+        serial_cascade,
+        value_hiding_chain,
+    )
+
+    builders = {
+        "failure_free": lambda: Schedule.failure_free(n, t, horizon),
+        "cascade": lambda: serial_cascade(n, t, horizon),
+        "hiding_chain": lambda: value_hiding_chain(n, t, horizon),
+        "block": lambda: block_crashes(n, t, horizon),
+        "killer2": lambda: coordinator_killer(n, t, horizon,
+                                              rounds_per_cycle=2),
+        "killer3": lambda: coordinator_killer(n, t, horizon,
+                                              rounds_per_cycle=3),
+        "async_prefix": lambda: async_prefix(n, t, horizon, k=sync_after),
+    }
+    if name not in builders:
+        known = ", ".join(sorted(builders))
+        raise SystemExit(f"unknown workload {name!r}; known: {known}")
+    return builders[name]()
+
+
+def _cmd_list(_args) -> int:
+    rows = [
+        (info.name, info.model, info.summary)
+        for info in available_algorithms().values()
+    ]
+    print(format_table(["name", "model", "summary"], rows,
+                       title="Registered consensus algorithms"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    factory = get_factory(args.algorithm)
+    schedule = _build_workload(
+        args.workload, args.n, args.t, args.horizon, args.sync_after
+    )
+    if args.proposals:
+        proposals = [int(v) for v in args.proposals.split(",")]
+        if len(proposals) != args.n:
+            raise SystemExit(
+                f"need {args.n} proposals, got {len(proposals)}"
+            )
+    else:
+        proposals = list(range(args.n))
+
+    trace = run_algorithm(factory, schedule, proposals)
+    print(schedule.describe())
+    print()
+    if args.diagram:
+        print(render_run(trace, title=f"{args.algorithm} on "
+                                      f"{args.workload}"))
+        print()
+    print(trace.describe())
+    summary = summarize(trace)
+    print(f"\nglobal decision round: {summary.global_round}")
+    problems = check_consensus(trace, expect_termination=False)
+    if problems:
+        print("CONSENSUS VIOLATIONS:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("consensus properties: ok")
+    return 0
+
+
+def _cmd_experiments(_args) -> int:
+    from repro.analysis.experiments import all_experiments
+
+    for title, headers, rows in all_experiments():
+        print(format_table(headers, rows, title=title))
+        print()
+    print("(Full, asserted experiment suite: "
+          "pytest benchmarks/ --benchmark-only)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The inherent price of indulgence' "
+                    "(Dutta & Guerraoui, PODC 2002).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered algorithms")
+
+    run_parser = sub.add_parser("run", help="run one algorithm on one "
+                                            "workload")
+    run_parser.add_argument("--algorithm", default="att2")
+    run_parser.add_argument("--n", type=int, default=5)
+    run_parser.add_argument("--t", type=int, default=2)
+    run_parser.add_argument("--workload", default="failure_free")
+    run_parser.add_argument("--horizon", type=int, default=24)
+    run_parser.add_argument("--sync-after", type=int, default=3,
+                            help="async prefix length for async_prefix")
+    run_parser.add_argument("--proposals", default="",
+                            help="comma-separated ints (default 0..n-1)")
+    run_parser.add_argument("--diagram", action="store_true",
+                            help="print a space-time diagram")
+
+    sub.add_parser("experiments", help="print the experiment tables")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "experiments": _cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

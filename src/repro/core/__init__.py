@@ -1,0 +1,19 @@
+"""The paper's contribution: A_{t+2} and its variants.
+
+* :class:`~repro.core.att2.ATt2` — the matching algorithm of Figure 2:
+  consensus in ES deciding at round t + 2 in every synchronous run.
+* :class:`~repro.core.att2_optimized.ATt2Optimized` — Figure 4: additionally
+  decides at round 2 in failure-free synchronous runs.
+* :class:`~repro.core.adiamond_s.ADiamondS` — Figure 3: the ◇S
+  transposition A_◇S.
+* :class:`~repro.core.afp2.AFPlus2` — Figure 5: the eventual-fast-decision
+  algorithm A_{f+2} for t < n/3 (decides by round k + f + 2 in runs
+  synchronous after round k with f later crashes).
+"""
+
+from repro.core.adiamond_s import ADiamondS
+from repro.core.afp2 import AFPlus2
+from repro.core.att2 import ATt2
+from repro.core.att2_optimized import ATt2Optimized
+
+__all__ = ["ATt2", "ATt2Optimized", "ADiamondS", "AFPlus2"]

@@ -1,0 +1,80 @@
+"""A_{f+2} — eventual fast decision for t < n/3 (paper, Section 6 / Figure 5).
+
+A_{f+2} answers the *eventual* fast decision question: if a run of ES
+becomes synchronous after round k and suffers f ≤ t crashes after round k,
+how quickly must it decide?  The paper's (modified) lower bound says
+k + f + 2; A_{f+2} matches it whenever t < n/3 (closing the gap for
+n/3 ≤ t < n/2 is left open).
+
+The algorithm is a one-round-per-step optimization of the leader-based
+algorithm AMR of Mostéfaoui & Raynal (which needs k + 2f + 2; see
+:mod:`repro.algorithms.amr_leader`), built on the t < n/3 counting
+observation: in any collection of n values in which some value v appears
+n − t times, every sub-collection of n − t values contains v at least
+n − 2t times and any other value fewer than n − 2t times.
+
+Per round k, each process p_i:
+
+1. if it has received any DECIDE message (round k or earlier), decides
+   that value;
+2. otherwise forms ``msgSet`` from the n − t current-round ESTIMATE
+   messages with the **lowest sender ids** among those received;
+3. decides v if all of ``msgSet`` carries the same estimate v;
+4. else adopts the (unique) estimate appearing ≥ n − 2t times, if any;
+5. else adopts the minimum estimate in ``msgSet``.
+
+Upon deciding it broadcasts the decision in the next round and returns.
+Lemma 15 (fast eventual decision) and Lemma 16 (termination) are
+reproduced as experiment E8.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.amr_leader import lowest_sender_votes
+from repro.algorithms.common import ConsensusAutomaton
+from repro.errors import AlgorithmError
+from repro.model.messages import Message
+from repro.types import Payload, ProcessId, Round, Value
+
+AF_EST = "AF_EST"
+
+
+class AFPlus2(ConsensusAutomaton):
+    """The A_{f+2} automaton (paper, Figure 5; requires t < n/3)."""
+
+    def __init__(self, pid: ProcessId, n: int, t: int, proposal: Value):
+        super().__init__(pid, n, t, proposal)
+        if 3 * t >= n:
+            raise AlgorithmError(
+                f"A_f+2 requires t < n/3 (got n={n}, t={t}); the paper "
+                "leaves n/3 <= t < n/2 open"
+            )
+        self.est: Value = proposal
+
+    def round_payload(self, k: Round) -> Payload | None:
+        return (AF_EST, k, self.est)
+
+    def round_deliver(self, k: Round, messages: tuple[Message, ...]) -> None:
+        current = [
+            m for m in self.current_round(messages, k) if m.tag == AF_EST
+        ]
+        if not current:
+            return
+        msg_set = lowest_sender_votes(current, self.n - self.t)
+        values = [m.payload[2] for m in msg_set]
+        distinct = set(values)
+        if len(distinct) == 1 and len(msg_set) >= self.n - self.t:
+            self._decide(values[0], k)
+            return
+        threshold = self.n - 2 * self.t
+        dominant = [v for v in distinct if values.count(v) >= threshold]
+        if dominant:
+            # Unique when t < n/3: two values with n-2t votes each would
+            # need 2(n-2t) <= n-t, i.e. n <= 3t.
+            self.est = dominant[0]
+        else:
+            self.est = min(values)
+
+    @classmethod
+    def factory(cls):
+        return cls

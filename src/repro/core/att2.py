@@ -1,0 +1,218 @@
+"""A_{t+2} — the paper's matching consensus algorithm (Figure 2).
+
+A_{t+2} solves consensus in ES for 0 < t < n/2 and satisfies **fast
+decision**: in every synchronous run, any process that ever decides does so
+by round t + 2 (Lemma 13) — matching the t + 2 lower bound of
+Proposition 1.
+
+Structure:
+
+**Phase 1 (rounds 1 .. t+1).**  Processes flood ``(ESTIMATE, k, est,
+Halt)``: ``est`` is the minimum proposal seen so far and ``Halt`` the set
+of processes p_j such that p_i suspected p_j, or p_j suspected p_i, at some
+earlier point.  Each round runs the paper's ``compute()`` (see
+:mod:`repro.algorithms.suspicion`).  Phase 1 guarantees the **elimination
+property** (Lemma 6): any two processes that complete it either hold the
+same estimate or at least one of them has ``|Halt| > t`` — evidence of a
+false suspicion, since in a synchronous run a process lands in someone's
+Halt set only by crashing (Claim 13.1), and more than t processes cannot
+crash.
+
+**Phase 2 (round t+2).**  Each process computes its *new estimate*:
+``nE = est`` if ``|Halt| <= t``, else ⊥, and floods ``(NEWESTIMATE, nE)``.
+By elimination, at most one distinct non-⊥ value circulates.  A process
+receiving only non-⊥ values decides that value, broadcasts DECIDE in round
+t + 3, and returns.  Otherwise it falls back on an *underlying* indulgent
+consensus C (any ◇P/◇S round-based algorithm transposed to ES; we default
+to the Chandra–Toueg-style module), proposing a received non-⊥ value if
+any, else its own proposal.  A DECIDE message received at any time makes a
+process decide immediately.
+
+The fast-decision property is independent of C's time complexity: in a
+synchronous run no process ever detects ``|Halt| > t``, all new estimates
+are non-⊥ and equal, and everyone decides at round t + 2.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import AlgorithmFactory
+from repro.algorithms.chandra_toueg import ChandraTouegES
+from repro.algorithms.common import ConsensusAutomaton, is_decide
+from repro.algorithms.suspicion import ESTIMATE, EstimateState
+from repro.model.messages import Message
+from repro.types import (
+    BOTTOM,
+    Payload,
+    ProcessId,
+    Round,
+    Value,
+    is_bottom,
+    validate_indulgent_resilience,
+)
+
+NEWESTIMATE = "NEWESTIMATE"
+
+
+class ATt2(ConsensusAutomaton):
+    """The A_{t+2} automaton (paper, Figure 2).
+
+    Args:
+        pid, n, t, proposal: standard automaton parameters; requires
+            0 < t < n/2.
+        underlying: factory for the underlying consensus module C invoked
+            from round t + 3 when the fast path fails.  Defaults to the
+            Chandra–Toueg-style ◇S algorithm transposed to ES.
+        allow_unsafe_resilience: skip the 0 < t < n/2 check.  **For
+            demonstrations only** — with t >= n/2 the algorithm is unsound
+            (no indulgent algorithm can be sound there, which is the
+            resilience price the paper recalls from Chandra & Toueg);
+            experiment E10 uses this to reproduce the split-brain
+            disagreement under an ES-legal partition.
+    """
+
+    #: Subclasses (Figure 4) flip this to enable the failure-free fast path.
+    optimize_failure_free = False
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        t: int,
+        proposal: Value,
+        underlying: AlgorithmFactory = ChandraTouegES,
+        allow_unsafe_resilience: bool = False,
+    ):
+        if not allow_unsafe_resilience:
+            validate_indulgent_resilience(n, t)
+        super().__init__(pid, n, t, proposal)
+        self.state = EstimateState(pid=pid, n=n, est=proposal)
+        self.new_estimate: Value | None = None
+        self.vc: Value = proposal
+        self._underlying_factory = underlying
+        self._underlying = None
+        self._offset = t + 2  # C's round r is ES round r + offset
+
+    # -- rounds ------------------------------------------------------------
+
+    def round_payload(self, k: Round) -> Payload | None:
+        if k <= self.t + 1:
+            return self.state.payload(k)
+        if k == self.t + 2:
+            if self.new_estimate is None:
+                # Beginning of round t+2 (Figure 2, line 10): a Halt set
+                # larger than t proves a false suspicion occurred.
+                detected_false_suspicion = len(self.state.halt) > self.t
+                self.new_estimate = (
+                    BOTTOM if detected_false_suspicion else self.state.est
+                )
+            return (NEWESTIMATE, k, self.new_estimate)
+        return self._underlying_automaton().payload(k - self._offset)
+
+    def round_deliver(self, k: Round, messages: tuple[Message, ...]) -> None:
+        if k <= self.t + 1:
+            if (
+                self.optimize_failure_free
+                and k == 2
+                and self._failure_free_fast_path(k, messages)
+            ):
+                return
+            self.state.compute(k, messages)
+            return
+        if k == self.t + 2:
+            self._phase_two(k, messages)
+            return
+        self._run_underlying(k, messages)
+
+    # -- phase 2 -------------------------------------------------------------
+
+    def _phase_two(self, k: Round, messages: tuple[Message, ...]) -> None:
+        values = [
+            m.payload[2]
+            for m in self.current_round(messages, k)
+            if m.tag == NEWESTIMATE
+        ]
+        non_bottom = [v for v in values if not is_bottom(v)]
+        if values and len(non_bottom) == len(values):
+            # Only non-⊥ new estimates received; by elimination they are
+            # all equal — decide (and announce in round t+3).
+            self._decide(min(non_bottom), k)
+            return
+        if non_bottom:
+            self.vc = min(non_bottom)
+        # else: vc keeps its current value (the proposal, or the round-2
+        # assignment of the failure-free optimization).
+
+    # -- underlying consensus C ------------------------------------------------
+
+    def _underlying_automaton(self):
+        if self._underlying is None:
+            self._underlying = self._underlying_factory(
+                self.pid, self.n, self.t, self.vc
+            )
+        return self._underlying
+
+    def _run_underlying(self, k: Round, messages: tuple[Message, ...]) -> None:
+        inner = self._underlying_automaton()
+        forwarded = tuple(
+            Message(
+                sent_round=m.sent_round - self._offset,
+                sender=m.sender,
+                receiver=m.receiver,
+                payload=m.payload,
+            )
+            for m in messages
+            if m.sent_round > self._offset and not is_decide(m)
+        )
+        inner.deliver(k - self._offset, forwarded)
+        if inner.decided:
+            self._decide(inner.decision, k)
+
+    # -- figure 4 fast path (used by ATt2Optimized) ------------------------------
+
+    def _failure_free_fast_path(
+        self, k: Round, messages: tuple[Message, ...]
+    ) -> bool:
+        """Figure 4, inserted before ``compute()`` in round 2.
+
+        Returns True iff the process decided (and round-2 ``compute()``
+        must be skipped).
+        """
+        current = [
+            m for m in self.current_round(messages, k) if m.tag == ESTIMATE
+        ]
+        if not all(m.payload[3] == frozenset() for m in current):
+            return False
+        if not current:
+            return False
+        ests = [m.payload[2] for m in current]
+        if len(current) == self.n:
+            # Complete, suspicion-free exchange: every round-2 message in
+            # the run carries the global minimum — decide it.
+            self._decide(min(ests), k)
+            return True
+        # No suspicion visible, but not everyone was heard: pre-position
+        # the fallback proposal on the (unique) circulating estimate.
+        self.vc = min(ests)
+        return False
+
+    @classmethod
+    def factory(
+        cls,
+        underlying: AlgorithmFactory = ChandraTouegES,
+        *,
+        allow_unsafe_resilience: bool = False,
+    ):
+        """A factory binding the underlying-consensus choice."""
+
+        def build(pid: ProcessId, n: int, t: int, proposal: Value) -> "ATt2":
+            return cls(
+                pid,
+                n,
+                t,
+                proposal,
+                underlying=underlying,
+                allow_unsafe_resilience=allow_unsafe_resilience,
+            )
+
+        build.__name__ = f"{cls.__name__}_factory"
+        return build

@@ -1,0 +1,31 @@
+"""Failure detectors: histories, simulated outputs, and property checkers.
+
+Section 4 of the paper relates ES to asynchronous round-based models
+enriched with unreliable failure detectors (Chandra & Toueg): ES can
+*simulate* the output of ◇P (and hence ◇S) by suspecting, in round k,
+exactly the processes from which no round-k message arrived in round k.
+
+This package makes that simulation executable and checkable:
+
+* :mod:`repro.detectors.base` — failure-detector histories and the
+  completeness / accuracy predicates;
+* :mod:`repro.detectors.simulation` — the Section-4 output derived from a
+  schedule or trace;
+* :mod:`repro.detectors.perfect`, :mod:`repro.detectors.eventually_perfect`,
+  :mod:`repro.detectors.eventually_strong` — the detector classes P, ◇P and
+  ◇S as property bundles.
+"""
+
+from repro.detectors.base import DetectorHistory
+from repro.detectors.eventually_perfect import EventuallyPerfect
+from repro.detectors.eventually_strong import EventuallyStrong
+from repro.detectors.perfect import Perfect
+from repro.detectors.simulation import simulate_from_schedule
+
+__all__ = [
+    "DetectorHistory",
+    "Perfect",
+    "EventuallyPerfect",
+    "EventuallyStrong",
+    "simulate_from_schedule",
+]

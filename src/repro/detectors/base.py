@@ -1,0 +1,126 @@
+"""Failure-detector histories and the building-block predicates.
+
+A :class:`DetectorHistory` records, for every process and round, the set of
+processes the local failure-detector module suspected.  The classic
+properties (Chandra & Toueg 1996) are expressed over a finite simulated
+window: "eventually" means "from some round within the horizon onwards".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.types import ProcessId, Round
+
+
+@dataclass(frozen=True)
+class DetectorHistory:
+    """Suspicion outputs of a failure detector over one run.
+
+    Attributes:
+        n: number of processes.
+        horizon: last round covered.
+        outputs: ``outputs[(pid, k)]`` is the set of processes *pid*'s
+            module suspected in round k.  Processes that crashed (or
+            halted) before round k have no entry.
+        correct: the processes that never crash in the run.
+        crash_rounds: crash round of each faulty process.
+    """
+
+    n: int
+    horizon: Round
+    outputs: Mapping[tuple[ProcessId, Round], frozenset[ProcessId]]
+    correct: frozenset[ProcessId]
+    crash_rounds: Mapping[ProcessId, Round] = field(default_factory=dict)
+
+    @property
+    def faulty(self) -> frozenset[ProcessId]:
+        return frozenset(self.crash_rounds)
+
+    def output(self, pid: ProcessId, k: Round) -> frozenset[ProcessId] | None:
+        return self.outputs.get((pid, k))
+
+    # -- completeness ----------------------------------------------------
+
+    def strong_completeness_round(self) -> Round | None:
+        """Smallest K from which every correct process always suspects every faulty one.
+
+        Returns ``None`` if no such K exists within the horizon (strong
+        completeness does not hold in the window).
+        """
+        return self._stabilization_round(self._complete_at)
+
+    def _complete_at(self, k: Round) -> bool:
+        for pid in self.correct:
+            suspected = self.output(pid, k)
+            if suspected is None:
+                return False
+            if not self.faulty <= suspected:
+                return False
+        return True
+
+    # -- accuracy ----------------------------------------------------------
+
+    def strong_accuracy_holds(self) -> bool:
+        """No process is suspected before it crashes (the P accuracy)."""
+        for (pid, k), suspected in self.outputs.items():
+            del pid
+            for q in suspected:
+                crash = self.crash_rounds.get(q)
+                if crash is None or crash > k:
+                    return False
+        return True
+
+    def eventual_strong_accuracy_round(self) -> Round | None:
+        """Smallest K from which no correct process suspects any correct process."""
+        return self._stabilization_round(self._accurate_at)
+
+    def _accurate_at(self, k: Round) -> bool:
+        for pid in self.correct:
+            suspected = self.output(pid, k)
+            if suspected is None:
+                continue
+            if suspected & self.correct:
+                return False
+        return True
+
+    def eventual_weak_accuracy_round(self) -> Round | None:
+        """Smallest K from which *some* correct process is never suspected by correct processes."""
+        best: Round | None = None
+        for candidate in sorted(self.correct):
+            stab = self._stabilization_round(
+                lambda k, c=candidate: self._unsuspected_at(c, k)
+            )
+            if stab is not None and (best is None or stab < best):
+                best = stab
+        return best
+
+    def _unsuspected_at(self, candidate: ProcessId, k: Round) -> bool:
+        for pid in self.correct:
+            suspected = self.output(pid, k)
+            if suspected is not None and candidate in suspected:
+                return False
+        return True
+
+    # -- helpers -------------------------------------------------------------
+
+    def _stabilization_round(self, predicate) -> Round | None:
+        """Smallest K such that *predicate* holds for every round in [K, horizon]."""
+        first_bad = 0
+        for k in range(1, self.horizon + 1):
+            if not predicate(k):
+                first_bad = k
+        if first_bad == self.horizon and not predicate(self.horizon):
+            return None
+        return first_bad + 1
+
+    def false_suspicions(self) -> list[tuple[ProcessId, Round, ProcessId]]:
+        """All (observer, round, suspect) triples where the suspect had not crashed."""
+        mistakes = []
+        for (pid, k), suspected in sorted(self.outputs.items()):
+            for q in sorted(suspected):
+                crash = self.crash_rounds.get(q)
+                if crash is None or crash > k:
+                    mistakes.append((pid, k, q))
+        return mistakes

@@ -1,0 +1,41 @@
+"""The eventually perfect failure detector ◇P.
+
+◇P provides strong completeness and *eventual* strong accuracy: there is a
+time after which correct processes are not suspected by any correct
+process.  The paper's Section 4 shows ES simulates ◇P; experiment E11
+checks this on generated ES schedules, including the sharper statement
+that accuracy holds from the schedule's synchrony round onwards (once all
+faulty processes have crashed and no message is delayed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detectors.base import DetectorHistory
+
+
+@dataclass(frozen=True)
+class EventuallyPerfect:
+    """Property bundle for ◇P."""
+
+    name: str = "◇P"
+
+    @staticmethod
+    def violations(history: DetectorHistory) -> list[str]:
+        problems = []
+        if history.strong_completeness_round() is None:
+            problems.append(
+                "strong completeness: some faulty process is not "
+                "permanently suspected within the horizon"
+            )
+        if history.eventual_strong_accuracy_round() is None:
+            problems.append(
+                "eventual strong accuracy: correct processes keep being "
+                "suspected up to the horizon"
+            )
+        return problems
+
+    @classmethod
+    def satisfied_by(cls, history: DetectorHistory) -> bool:
+        return not cls.violations(history)

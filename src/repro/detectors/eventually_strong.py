@@ -1,0 +1,42 @@
+"""The eventually strong failure detector ◇S.
+
+◇S weakens ◇P's accuracy to *eventual weak accuracy*: there is a time
+after which **some** correct process is never suspected by any correct
+process.  ◇S is the weakest detector class for consensus (with a majority
+of correct processes), and the paper's A_◇S (Figure 3) and the
+Hurfin–Raynal / Chandra–Toueg baselines rely on it.  Anything satisfying
+◇P satisfies ◇S; the checkers let tests confirm the containment on
+simulated histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detectors.base import DetectorHistory
+
+
+@dataclass(frozen=True)
+class EventuallyStrong:
+    """Property bundle for ◇S."""
+
+    name: str = "◇S"
+
+    @staticmethod
+    def violations(history: DetectorHistory) -> list[str]:
+        problems = []
+        if history.strong_completeness_round() is None:
+            problems.append(
+                "strong completeness: some faulty process is not "
+                "permanently suspected within the horizon"
+            )
+        if history.eventual_weak_accuracy_round() is None:
+            problems.append(
+                "eventual weak accuracy: every correct process keeps being "
+                "suspected by some correct process up to the horizon"
+            )
+        return problems
+
+    @classmethod
+    def satisfied_by(cls, history: DetectorHistory) -> bool:
+        return not cls.violations(history)

@@ -1,0 +1,44 @@
+"""The perfect failure detector P (strong completeness + strong accuracy).
+
+P never makes mistakes: no process is suspected before it crashes, and
+crashed processes are eventually suspected forever.  FloodSetWS assumes P;
+the tests verify that the simulated detector restricted to SCS-legal
+(synchronous) schedules is perfect — which is exactly why, in synchronous
+runs, every suspicion in A_{t+2}'s Halt sets is backed by a real crash
+(Claim 13.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detectors.base import DetectorHistory
+
+
+@dataclass(frozen=True)
+class Perfect:
+    """Property bundle for P."""
+
+    name: str = "P"
+
+    @staticmethod
+    def violations(history: DetectorHistory) -> list[str]:
+        problems = []
+        if not history.strong_accuracy_holds():
+            mistakes = history.false_suspicions()
+            observer, k, suspect = mistakes[0]
+            problems.append(
+                f"strong accuracy: p{observer} suspected non-crashed "
+                f"p{suspect} in round {k} "
+                f"({len(mistakes)} false suspicions in total)"
+            )
+        if history.strong_completeness_round() is None:
+            problems.append(
+                "strong completeness: some faulty process is not "
+                "permanently suspected within the horizon"
+            )
+        return problems
+
+    @classmethod
+    def satisfied_by(cls, history: DetectorHistory) -> bool:
+        return not cls.violations(history)

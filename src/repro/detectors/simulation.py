@@ -1,0 +1,67 @@
+"""The Section-4 simulation of failure detectors from ES.
+
+The paper (Section 4): "on receiving messages of round k in ES, the
+simulated failure detector output is changed to the set of processes from
+which no message was received in round k of ES".  Consequently, after the
+round K from which (a) no message is delayed and (b) every faulty process
+has crashed, the simulated output satisfies the ◇P properties — and a
+fortiori ◇S.
+
+Two entry points: :func:`simulate_from_schedule` derives the history
+analytically from the schedule (what an always-listening process would
+output), and :func:`simulate_from_trace` extracts it from an executed
+trace (what the algorithm actually observed, absent for halted processes).
+"""
+
+from __future__ import annotations
+
+from repro.detectors.base import DetectorHistory
+from repro.model.constraints import suspected_by
+from repro.model.schedule import Schedule
+from repro.sim.trace import Trace
+from repro.types import ProcessId, Round
+
+
+def simulate_from_schedule(schedule: Schedule) -> DetectorHistory:
+    """The simulated ◇P output for every process completing each round."""
+    outputs: dict[tuple[ProcessId, Round], frozenset[ProcessId]] = {}
+    for k in range(1, schedule.horizon + 1):
+        for pid in schedule.processes:
+            if not schedule.completes_round(pid, k):
+                continue
+            outputs[(pid, k)] = suspected_by(schedule, pid, k)
+    return DetectorHistory(
+        n=schedule.n,
+        horizon=schedule.horizon,
+        outputs=outputs,
+        correct=schedule.correct,
+        crash_rounds={
+            pid: spec.round for pid, spec in schedule.crashes.items()
+        },
+    )
+
+
+def simulate_from_trace(trace: Trace) -> DetectorHistory:
+    """The simulated output as observed in an executed run.
+
+    Unlike :func:`simulate_from_schedule`, a process that halted stops
+    producing outputs, and processes that halted also stop *sending*, so
+    late rounds may suspect them — matching what an algorithm layered on
+    the simulation would genuinely see.
+    """
+    outputs: dict[tuple[ProcessId, Round], frozenset[ProcessId]] = {}
+    everyone = frozenset(range(trace.n))
+    for rec in trace.rounds:
+        for pid, inbox in rec.delivered.items():
+            heard = {m.sender for m in inbox if m.sent_round == rec.round}
+            outputs[(pid, rec.round)] = everyone - heard - {pid}
+    return DetectorHistory(
+        n=trace.n,
+        horizon=trace.rounds_executed,
+        outputs=outputs,
+        correct=trace.schedule.correct,
+        crash_rounds={
+            pid: spec.round
+            for pid, spec in trace.schedule.crashes.items()
+        },
+    )

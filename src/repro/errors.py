@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ScheduleError(ReproError):
+    """An adversary schedule is internally inconsistent.
+
+    Raised while *building* a schedule, e.g. a message is both delayed and
+    lost, a delivery round precedes the sending round, or a crashed process
+    is scheduled to send in a later round.
+    """
+
+
+class ModelViolation(ReproError):
+    """A schedule violates the constraints of the model it claims to obey.
+
+    Raised by the SCS / ES validators when asked to *enforce* (rather than
+    merely report) the model constraints.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an impossible condition at run time."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm automaton was driven outside its contract.
+
+    Examples: delivering messages for a round the automaton already
+    completed, or asking a halted automaton for a payload.
+    """
+
+
+class ConsensusViolation(ReproError):
+    """A consensus safety property (validity / agreement) was violated.
+
+    Raised by the checking utilities in :mod:`repro.analysis.metrics` when a
+    trace exhibits disagreement or an invented decision value.  The paper's
+    resilience-price demonstration (t >= n/2) triggers this deliberately.
+    """

@@ -1,0 +1,60 @@
+"""Lower-bound machinery: the paper's Section 2, mechanized.
+
+The t + 2 lower bound (Proposition 1) is a bivalency argument over
+*serial* runs — synchronous runs with at most one crash per round — plus a
+final step (Claim 5.1, Figure 1) in which carefully delayed messages make
+asynchronous runs indistinguishable from synchronous ones.  This package
+makes each ingredient executable against any algorithm automaton:
+
+* :mod:`repro.lowerbound.serial_runs` — exhaustive enumeration of serial
+  partial runs and their extensions;
+* :mod:`repro.lowerbound.valency` — decision-value sets (0-valent /
+  1-valent / bivalent) of partial runs, computed by exhaustive extension;
+* :mod:`repro.lowerbound.bivalency` — Lemma 3 (bivalent initial
+  configurations) and Lemma 4/5 (bivalent k-round serial partial runs) as
+  searches;
+* :mod:`repro.lowerbound.indistinguishability` — view-equality utilities;
+* :mod:`repro.lowerbound.figure1` — the five-run gadget s1, s0, a2, a1, a0
+  of Claim 5.1, constructed for real algorithms with machine-checked
+  indistinguishability claims.
+"""
+
+from repro.lowerbound.bivalency import (
+    find_bivalent_initial,
+    find_bivalent_serial_prefix,
+    initial_valencies,
+)
+from repro.lowerbound.figure1 import FigureOneReport, build_figure_one
+from repro.lowerbound.indistinguishability import distinguishers
+from repro.lowerbound.model_check import (
+    AdversaryBudget,
+    CheckResult,
+    check_consensus_safety,
+)
+from repro.lowerbound.serial_runs import (
+    CrashEvent,
+    enumerate_serial_extensions,
+    enumerate_serial_partial_runs,
+    schedule_from_events,
+    worst_case_serial,
+)
+from repro.lowerbound.valency import classify_partial_runs, valency
+
+__all__ = [
+    "CrashEvent",
+    "schedule_from_events",
+    "enumerate_serial_partial_runs",
+    "enumerate_serial_extensions",
+    "worst_case_serial",
+    "valency",
+    "classify_partial_runs",
+    "initial_valencies",
+    "find_bivalent_initial",
+    "find_bivalent_serial_prefix",
+    "distinguishers",
+    "FigureOneReport",
+    "build_figure_one",
+    "AdversaryBudget",
+    "CheckResult",
+    "check_consensus_safety",
+]

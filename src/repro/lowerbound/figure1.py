@@ -1,0 +1,290 @@
+"""The five-run gadget of Claim 5.1 (paper, Figure 1), machine-checked.
+
+The heart of the t + 2 lower bound builds, on top of a (t−1)-round serial
+prefix, five runs whose rounds t and t + 1 interleave crashes, false
+suspicions and delayed messages:
+
+* **s1** — synchronous: p'_1 crashes in round t, its final message lost to
+  the suspect set S; no crashes afterwards.
+* **s0** — synchronous: like s1 but p'_{i+1} *does* receive the message
+  (lost only to S \\ {p'_{i+1}}).
+* **a2** — asynchronous: p'_1 does not crash; its round-t messages to S
+  are *delayed* to round t + 2 (false suspicions); p'_{i+1} crashes at the
+  start of round t + 1.  Let k' be the round at which a2 reaches a global
+  decision.
+* **a1** — like a2 through round t; in round t + 1, everyone falsely
+  suspects p'_{i+1} (its messages are delayed past k') and p'_{i+1}
+  falsely suspects p'_1; p'_{i+1} crashes at the start of round t + 2.
+* **a0** — like a1, except p'_1's round-t message *reaches* p'_{i+1}
+  (delays only to S \\ {p'_{i+1}}).
+
+The proof's indistinguishability claims, all checkable on concrete traces
+of any deterministic algorithm:
+
+1. p'_{i+1} cannot distinguish a1 from s1 at the end of round t + 1;
+2. p'_{i+1} cannot distinguish a0 from s0 at the end of round t + 1;
+3. no process other than p'_{i+1} (and the prefix crashers) can
+   distinguish a2, a1 and a0 by the end of round k'.
+
+For an algorithm that decided by round t + 1 in synchronous runs, (1) and
+(2) would force p'_{i+1} to decide s1's value in a1 and s0's value in a0,
+while (3) forces everyone else to a single common value across a1 and a0 —
+a contradiction whenever s1 and s0 decide differently (which the canonical
+configuration arranges via a value-hiding prefix).  That is the inherent
+price of indulgence; real ES algorithms escape it only by not deciding at
+round t + 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.algorithms.base import AlgorithmFactory
+from repro.errors import SimulationError
+from repro.lowerbound.indistinguishability import (
+    decision_consistency,
+    distinguishers,
+)
+from repro.model.schedule import Schedule, ScheduleBuilder
+from repro.sim.kernel import run_algorithm
+from repro.sim.trace import Trace, views_equal
+from repro.types import ProcessId, Round, Value, validate_indulgent_resilience
+
+
+@dataclass(frozen=True)
+class FigureOneConfig:
+    """Parameters of the gadget.
+
+    Attributes:
+        n, t: system size (0 < t < n/2).
+        proposals: one proposal per process.
+        p_one: the paper's p'_1 — falsely suspected in round t.
+        p_i_plus_1: the paper's p'_{i+1} — the pivotal process.
+        suspects: the paper's {p'_2 .. p'_{i+1}} — processes that miss
+            p'_1's round-t message in s1/a2/a1.  Must contain p_i_plus_1.
+        prefix: crash round of each (t−1)-prefix crasher, as a mapping
+            pid -> (round, delivered_to).
+    """
+
+    n: int
+    t: int
+    proposals: tuple[Value, ...]
+    p_one: ProcessId
+    p_i_plus_1: ProcessId
+    suspects: frozenset[ProcessId]
+    prefix: Mapping[ProcessId, tuple[Round, tuple[ProcessId, ...]]]
+
+
+def canonical_config(n: int, t: int) -> FigureOneConfig:
+    """The flagship configuration: a value-hiding chain makes s1 and s0 diverge.
+
+    Processes p_0 .. p_{t−2} crash in rounds 1 .. t−1, each handing the
+    hidden minimum proposal 0 to the next; p'_1 = p_{t−1} is the last
+    carrier.  S contains every remaining process, and p'_{i+1} = p_t is the
+    only process that receives the carrier's final message in s0.  Then s0
+    decides 0 and s1 decides 1, so the gadget exhibits real bivalence.
+    """
+    validate_indulgent_resilience(n, t)
+    proposals = tuple(0 if pid == 0 else 1 for pid in range(n))
+    prefix = {
+        pid: (pid + 1, (pid + 1,))
+        for pid in range(t - 1)
+    }
+    p_one = t - 1
+    alive = [pid for pid in range(n) if pid >= t]
+    return FigureOneConfig(
+        n=n,
+        t=t,
+        proposals=proposals,
+        p_one=p_one,
+        p_i_plus_1=alive[0],
+        suspects=frozenset(alive),
+        prefix=prefix,
+    )
+
+
+@dataclass(frozen=True)
+class FigureOneReport:
+    """The five traces plus the machine-checked claims."""
+
+    config: FigureOneConfig
+    k_prime: Round
+    traces: Mapping[str, Trace]
+    claim_a1_s1: bool
+    claim_a0_s0: bool
+    claim_common: bool
+    determinism_issues: tuple[str, ...]
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return (
+            self.claim_a1_s1
+            and self.claim_a0_s0
+            and self.claim_common
+            and not self.determinism_issues
+        )
+
+    def decision_table(self) -> list[tuple[str, object, object]]:
+        """(run, decision values, global decision round) rows."""
+        rows = []
+        for name in ("s1", "s0", "a2", "a1", "a0"):
+            trace = self.traces[name]
+            rows.append(
+                (
+                    name,
+                    sorted(trace.decided_values(), key=repr),
+                    trace.global_decision_round(),
+                )
+            )
+        return rows
+
+
+class _GadgetBuilder:
+    """Shared schedule-building logic for the five runs."""
+
+    def __init__(self, config: FigureOneConfig, horizon: Round):
+        self.config = config
+        self.horizon = horizon
+
+    def _base(self) -> ScheduleBuilder:
+        builder = ScheduleBuilder(self.config.n, self.config.t, self.horizon)
+        for pid, (round_, delivered) in sorted(self.config.prefix.items()):
+            builder.crash(pid, round_, delivered_to=delivered)
+        return builder
+
+    def _alive_after_prefix(self) -> list[ProcessId]:
+        return [
+            pid
+            for pid in range(self.config.n)
+            if pid not in self.config.prefix and pid != self.config.p_one
+        ]
+
+    def synchronous(self, missing: frozenset[ProcessId]) -> Schedule:
+        """s1 / s0: p'_1 crashes in round t, message lost to *missing*."""
+        builder = self._base()
+        delivered = [
+            pid for pid in self._alive_after_prefix() if pid not in missing
+        ]
+        builder.crash(
+            self.config.p_one, self.config.t, delivered_to=delivered
+        )
+        return builder.build()
+
+    def _delay_round_t(
+        self, builder: ScheduleBuilder, missing: frozenset[ProcessId]
+    ) -> None:
+        for receiver in sorted(missing):
+            builder.delay(
+                self.config.p_one, receiver, self.config.t, self.config.t + 2
+            )
+
+    def a2(self) -> Schedule:
+        builder = self._base()
+        self._delay_round_t(builder, self.config.suspects)
+        builder.crash(self.config.p_i_plus_1, self.config.t + 1,
+                      delivered_to=())
+        return builder.build()
+
+    def a1_or_a0(
+        self, missing: frozenset[ProcessId], k_prime: Round
+    ) -> Schedule:
+        builder = self._base()
+        self._delay_round_t(builder, missing)
+        pivot = self.config.p_i_plus_1
+        # Round t+1: everyone falsely suspects the pivot...
+        for receiver in range(self.config.n):
+            if receiver != pivot:
+                builder.delay(pivot, receiver, self.config.t + 1,
+                              k_prime + 1)
+        # ... and the pivot falsely suspects p'_1.
+        builder.delay(self.config.p_one, pivot, self.config.t + 1,
+                      k_prime + 1)
+        builder.crash(pivot, self.config.t + 2, delivered_to=())
+        return builder.build()
+
+
+def build_figure_one(
+    factory: AlgorithmFactory,
+    config: FigureOneConfig | None = None,
+    *,
+    n: int | None = None,
+    t: int | None = None,
+    horizon_slack: Round = 24,
+) -> FigureOneReport:
+    """Construct the five runs for *factory* and check the claims.
+
+    Either pass an explicit *config* or just (n, t) for the canonical one.
+    """
+    if config is None:
+        if n is None or t is None:
+            raise ValueError("pass a config, or both n and t")
+        config = canonical_config(n, t)
+    proposals: Sequence[Value] = config.proposals
+    t_ = config.t
+
+    # Probe a2 to learn k', the round of its global decision.
+    probe_horizon = t_ + 2 + horizon_slack
+    probe = _GadgetBuilder(config, probe_horizon)
+    a2_probe = run_algorithm(factory, probe.a2(), proposals)
+    k_prime = a2_probe.global_decision_round()
+    if k_prime is None:
+        raise SimulationError(
+            f"a2 did not reach a global decision within {probe_horizon} "
+            f"rounds; increase horizon_slack"
+        )
+
+    horizon = k_prime + 2
+    gadget = _GadgetBuilder(config, horizon)
+    pivot = config.p_i_plus_1
+    suspects_minus = config.suspects - {pivot}
+
+    traces = {
+        "s1": run_algorithm(
+            factory, gadget.synchronous(config.suspects), proposals
+        ),
+        "s0": run_algorithm(
+            factory, gadget.synchronous(suspects_minus), proposals
+        ),
+        "a2": run_algorithm(factory, gadget.a2(), proposals),
+        "a1": run_algorithm(
+            factory, gadget.a1_or_a0(config.suspects, k_prime), proposals
+        ),
+        "a0": run_algorithm(
+            factory, gadget.a1_or_a0(suspects_minus, k_prime), proposals
+        ),
+    }
+
+    claim_a1_s1 = views_equal(traces["a1"], traces["s1"], pivot, t_ + 1)
+    claim_a0_s0 = views_equal(traces["a0"], traces["s0"], pivot, t_ + 1)
+
+    observers = (
+        frozenset(range(config.n))
+        - {pivot}
+        - frozenset(config.prefix)
+    )
+    claim_common = True
+    for first, second in (("a2", "a1"), ("a1", "a0"), ("a2", "a0")):
+        diff = distinguishers(
+            traces[first], traces[second], upto=k_prime
+        )
+        if diff & observers:
+            claim_common = False
+
+    issues: list[str] = []
+    for first, second in (("a2", "a1"), ("a1", "a0"), ("a2", "a0")):
+        issues.extend(
+            decision_consistency(
+                traces[first], traces[second], upto=k_prime
+            )
+        )
+
+    return FigureOneReport(
+        config=config,
+        k_prime=k_prime,
+        traces=traces,
+        claim_a1_s1=claim_a1_s1,
+        claim_a0_s0=claim_a0_s0,
+        claim_common=claim_common,
+        determinism_issues=tuple(issues),
+    )

@@ -1,0 +1,166 @@
+"""Exhaustive enumeration of serial runs.
+
+A *serial* run (paper, Section 2) is a synchronous run with at most one
+crash per round and at most t crashes overall.  A serial partial run is
+fully described by its crash events — which process crashed in which round
+and which receivers still got its final message — because synchronous
+rounds leave the adversary no other choice.  That makes the space finite
+and small for the (n, t) the bivalency experiments use, so valency can be
+computed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain, combinations
+from typing import Iterator, Sequence
+
+from repro.algorithms.base import AlgorithmFactory
+from repro.model.schedule import Schedule, ScheduleBuilder
+from repro.sim.kernel import run_algorithm
+from repro.sim.trace import Trace
+from repro.types import ProcessId, Round, Value, validate_system_size
+
+
+@dataclass(frozen=True, order=True)
+class CrashEvent:
+    """One crash in a serial run.
+
+    Attributes:
+        round: the round in which the process crashes.
+        pid: the crashing process.
+        delivered_to: receivers of its final (crash-round) message; all
+            other processes lose it.
+    """
+
+    round: Round
+    pid: ProcessId
+    delivered_to: frozenset[ProcessId]
+
+
+Events = tuple[CrashEvent, ...]
+
+
+def schedule_from_events(
+    n: int, t: int, events: Sequence[CrashEvent], horizon: Round
+) -> Schedule:
+    """The synchronous schedule realizing the given crash events."""
+    builder = ScheduleBuilder(n, t, horizon)
+    for event in events:
+        builder.crash(
+            event.pid, event.round, delivered_to=event.delivered_to
+        )
+    return builder.build()
+
+
+def run_with_events(
+    factory: AlgorithmFactory,
+    proposals: Sequence[Value],
+    events: Sequence[CrashEvent],
+    *,
+    t: int,
+    horizon: Round,
+) -> Trace:
+    """Execute *factory* on the serial schedule defined by *events*."""
+    n = len(proposals)
+    schedule = schedule_from_events(n, t, events, horizon)
+    return run_algorithm(factory, schedule, proposals)
+
+
+def _subsets(items: Sequence[ProcessId]) -> Iterator[frozenset[ProcessId]]:
+    return (
+        frozenset(combo)
+        for combo in chain.from_iterable(
+            combinations(items, size) for size in range(len(items) + 1)
+        )
+    )
+
+
+def one_round_options(
+    n: int, t: int, events: Events, k: Round
+) -> Iterator[Events]:
+    """All serial choices for round *k* on top of *events*.
+
+    Either nobody crashes, or one not-yet-crashed process crashes with an
+    arbitrary subset of the currently alive processes receiving its final
+    message (delivery to already-crashed processes is unobservable, so
+    those subsets are skipped).
+    """
+    yield events
+    if len(events) >= t:
+        return
+    crashed = {event.pid for event in events}
+    alive = [p for p in range(n) if p not in crashed]
+    for pid in alive:
+        receivers = [q for q in alive if q != pid]
+        for subset in _subsets(receivers):
+            yield events + (CrashEvent(round=k, pid=pid,
+                                       delivered_to=subset),)
+
+
+def enumerate_serial_extensions(
+    n: int,
+    t: int,
+    events: Events,
+    *,
+    from_round: Round,
+    upto_round: Round,
+) -> Iterator[Events]:
+    """All serial crash patterns extending *events* through *upto_round*.
+
+    Crashes are only placed in rounds ``from_round .. upto_round``; the
+    caller chooses ``upto_round`` at least as large as the last round in
+    which a crash can still influence the decision value of the algorithm
+    under study.
+    """
+    if from_round > upto_round:
+        yield events
+        return
+    for option in one_round_options(n, t, events, from_round):
+        yield from enumerate_serial_extensions(
+            n, t, option, from_round=from_round + 1, upto_round=upto_round
+        )
+
+
+def enumerate_serial_partial_runs(
+    n: int, t: int, upto_round: Round
+) -> Iterator[Events]:
+    """All serial crash patterns over rounds 1 .. upto_round."""
+    validate_system_size(n, t)
+    yield from enumerate_serial_extensions(
+        n, t, (), from_round=1, upto_round=upto_round
+    )
+
+
+def worst_case_serial(
+    factory: AlgorithmFactory,
+    proposals: Sequence[Value],
+    *,
+    t: int,
+    crash_rounds_limit: Round,
+    horizon: Round,
+) -> tuple[Round, Events, Round, Events]:
+    """Exhaustive worst/best-case global decision round over serial runs.
+
+    Explores every serial crash pattern with crashes in rounds
+    ``1 .. crash_rounds_limit`` and returns ``(worst_round, worst_events,
+    best_round, best_events)``.  Runs that do not decide within *horizon*
+    count as ``horizon + 1``.
+    """
+    n = len(proposals)
+    worst: Round = -1
+    best: Round = horizon + 2
+    worst_events: Events = ()
+    best_events: Events = ()
+    for events in enumerate_serial_partial_runs(n, t, crash_rounds_limit):
+        trace = run_with_events(
+            factory, proposals, events, t=t, horizon=horizon
+        )
+        global_round = trace.global_decision_round()
+        if global_round is None:
+            global_round = horizon + 1
+        if global_round > worst:
+            worst, worst_events = global_round, events
+        if global_round < best:
+            best, best_events = global_round, events
+    return worst, worst_events, best, best_events

@@ -1,0 +1,25 @@
+"""Round-based system models: messages, adversary schedules, SCS and ES.
+
+The paper works with two round-based crash-stop models:
+
+* **SCS** — the classic synchronous crash-stop model (Lynch 1996): a message
+  sent in round k by a process that does not crash in round k is received in
+  round k; messages from a process crashing in round k reach an arbitrary
+  subset of receivers (the rest are lost).
+* **ES** — the eventually synchronous model: runs may be asynchronous for an
+  arbitrary finite prefix.  Every run satisfies *t-resilience* (each process
+  completing round k receives at least n−t round-k messages in round k),
+  *reliable channels* (correct→correct messages are never lost, only
+  delayed finitely), and *eventual synchrony* (from some unknown round K
+  onwards the run behaves synchronously).
+
+Both are expressed here as *constraints over adversary schedules*
+(:mod:`repro.model.schedule`); validators in :mod:`repro.model.scs` and
+:mod:`repro.model.es` classify schedules, and the kernel in
+:mod:`repro.sim.kernel` executes any schedule deterministically.
+"""
+
+from repro.model.messages import Message
+from repro.model.schedule import CrashSpec, Schedule, ScheduleBuilder
+
+__all__ = ["Message", "CrashSpec", "Schedule", "ScheduleBuilder"]

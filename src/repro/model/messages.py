@@ -1,0 +1,69 @@
+"""Message representation for the round-based kernel.
+
+A message is a frozen record of who sent what to whom and in which round.
+Messages are hashable and totally ordered so that delivery sets can be
+canonically sorted — determinism of the kernel, and hence the soundness of
+the view-indistinguishability machinery, depends on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.types import Payload, ProcessId, Round
+
+
+@dataclass(frozen=True, order=True)
+class Message:
+    """A single point-to-point message.
+
+    Attributes:
+        sent_round: the round in which the message was sent (its timestamp;
+            the paper assumes every message is tagged with the round number).
+        sender: process id of the sender.
+        receiver: process id of the receiver.
+        payload: the algorithm-level content.  Must be hashable; by
+            convention a tuple whose first element is a string tag, e.g.
+            ``("ESTIMATE", 3, est, halt_frozenset)``.
+    """
+
+    sent_round: Round
+    sender: ProcessId
+    receiver: ProcessId
+    payload: Payload = field(compare=False)
+
+    def __post_init__(self) -> None:
+        hash(self.payload)  # fail fast on unhashable payloads
+
+    @property
+    def tag(self) -> Any:
+        """The payload tag (first tuple element), or the payload itself."""
+        if isinstance(self.payload, tuple) and self.payload:
+            return self.payload[0]
+        return self.payload
+
+    def __repr__(self) -> str:  # compact, for trace dumps
+        return (
+            f"Message(r{self.sent_round} {self.sender}->{self.receiver} "
+            f"{self.payload!r})"
+        )
+
+
+def sort_delivery(messages: list[Message]) -> tuple[Message, ...]:
+    """Canonical delivery order: by sending round, then sender id.
+
+    Payloads are excluded from the ordering (dataclass ``compare=False``);
+    a (sent_round, sender, receiver) triple uniquely identifies a message
+    within one run, so the order is total in practice.
+    """
+    return tuple(sorted(messages))
+
+
+DUMMY: Payload = ("DUMMY",)
+"""Payload sent when an algorithm has nothing to say in a round.
+
+The paper (footnote 1) assumes processes send messages to all others in
+every round, inserting dummy messages when the algorithm generates none;
+suspicion semantics ("no round-k message received in round k") rely on this.
+"""

@@ -1,0 +1,64 @@
+"""The synchronous crash-stop model SCS (Lynch 1996) — validator.
+
+In SCS every round is synchronous by construction:
+
+* If a process does not crash in round k, **every** process completing
+  round k receives its round-k message in round k — no delays, no losses.
+* If a process crashes in round k, an arbitrary subset of its round-k
+  messages is lost and the rest arrive in round k — crash-round messages
+  are never *delayed* (delaying them is an ES-only behaviour; see the
+  paper's footnote 2).
+
+Consensus in SCS is solvable in exactly t + 1 rounds (FloodSet matches the
+t + 1 lower bound) — the yardstick against which the paper prices
+indulgence.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelViolation
+from repro.model.schedule import Schedule
+
+
+def check_scs(schedule: Schedule) -> list[str]:
+    """Return a list of SCS violations (empty iff the schedule is SCS-legal)."""
+    violations: list[str] = []
+    if len(schedule.crashes) > schedule.t:
+        violations.append(
+            f"{len(schedule.crashes)} crashes exceed the resilience bound "
+            f"t={schedule.t}"
+        )
+    for (sender, receiver, k), until in sorted(schedule.delays.items()):
+        violations.append(
+            f"SCS forbids delayed messages: r{k} {sender}->{receiver} "
+            f"delayed until {until}"
+        )
+    for sender, receiver, k in sorted(schedule.losses):
+        crash = schedule.crash_round(sender)
+        if crash != k:
+            violations.append(
+                f"SCS loses messages only in the sender's crash round: "
+                f"r{k} {sender}->{receiver} lost but p{sender} "
+                + ("never crashes" if crash is None else f"crashes in round {crash}")
+            )
+    for pid, spec in sorted(schedule.crashes.items()):
+        if spec.delayed:
+            violations.append(
+                f"SCS forbids delaying crash-round messages: p{pid} round "
+                f"{spec.round} delays to {[r for r, _ in spec.delayed]}"
+            )
+    return violations
+
+
+def is_scs(schedule: Schedule) -> bool:
+    return not check_scs(schedule)
+
+
+def enforce_scs(schedule: Schedule) -> Schedule:
+    """Raise :class:`ModelViolation` unless the schedule is SCS-legal."""
+    violations = check_scs(schedule)
+    if violations:
+        raise ModelViolation(
+            "schedule violates SCS:\n  " + "\n  ".join(violations)
+        )
+    return schedule

@@ -1,0 +1,160 @@
+"""The deterministic round-based execution kernel.
+
+:func:`execute` runs one automaton per process against an adversary
+:class:`~repro.model.schedule.Schedule` and returns a complete
+:class:`~repro.sim.trace.Trace`.
+
+Round structure (paper, Section 1.2): each round k has a send phase — every
+non-crashed, non-halted process broadcasts one payload, timestamped k — and
+a receive phase — every process that completes the round receives the
+round-k messages the schedule delivers in round k, plus any earlier-round
+messages whose delayed delivery lands in round k.  A process that crashes
+in round k sends to the schedule-chosen subset and never executes the
+receive phase.
+
+The kernel is *model-agnostic*: it executes any schedule.  Whether the
+schedule obeys SCS or ES is checked separately by the validators in
+:mod:`repro.model.scs` and :mod:`repro.model.es`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algorithms.base import Automaton
+from repro.errors import SimulationError
+from repro.model.messages import DUMMY, Message, sort_delivery
+from repro.model.schedule import Schedule
+from repro.sim.trace import RoundRecord, Trace
+from repro.types import ProcessId, Round, Value
+
+
+def execute(
+    automata: Sequence[Automaton],
+    schedule: Schedule,
+    *,
+    max_rounds: Round | None = None,
+    stop_when_quiescent: bool = True,
+) -> Trace:
+    """Execute one run and return its trace.
+
+    Args:
+        automata: one automaton per process, index = process id.
+        schedule: the adversary schedule; its ``horizon`` bounds the run.
+        max_rounds: optional tighter bound on the number of rounds.
+        stop_when_quiescent: stop early once every process has crashed or
+            halted (the run's outcome can no longer change).
+
+    Returns:
+        The complete trace.  The kernel never raises on non-termination —
+        a run that fails to decide simply ends at the horizon with missing
+        decisions, which the analysis layer reports.
+    """
+    n = schedule.n
+    if len(automata) != n:
+        raise SimulationError(
+            f"schedule is for {n} processes, got {len(automata)} automata"
+        )
+    for pid, automaton in enumerate(automata):
+        if automaton.pid != pid:
+            raise SimulationError(
+                f"automaton at index {pid} reports pid {automaton.pid}"
+            )
+
+    horizon = schedule.horizon
+    if max_rounds is not None:
+        horizon = min(horizon, max_rounds)
+
+    proposals = tuple(a.proposal for a in automata)
+    halted: set[ProcessId] = set()
+    decided_at: dict[ProcessId, tuple[Value, Round]] = {}
+    # Messages awaiting delivery: (receiver, delivery_round) -> list.
+    pending: dict[tuple[ProcessId, Round], list[Message]] = {}
+    records: list[RoundRecord] = []
+
+    for k in range(1, horizon + 1):
+        sent: dict[ProcessId, object | None] = {}
+        delivered: dict[ProcessId, tuple[Message, ...]] = {}
+        decided_this_round: dict[ProcessId, Value] = {}
+        halted_this_round: set[ProcessId] = set()
+
+        # --- send phase ---------------------------------------------------
+        for pid in range(n):
+            if pid in halted or not schedule.sends_in_round(pid, k):
+                sent[pid] = None
+                continue
+            payload = automata[pid].payload(k)
+            if payload is None:
+                payload = DUMMY
+            sent[pid] = payload
+            for receiver in range(n):
+                delivery = schedule.delivery_round(pid, receiver, k)
+                if delivery is None:
+                    continue
+                message = Message(
+                    sent_round=k, sender=pid, receiver=receiver,
+                    payload=payload,
+                )
+                pending.setdefault((receiver, delivery), []).append(message)
+
+        # --- receive phase --------------------------------------------------
+        for pid in range(n):
+            if pid in halted or not schedule.completes_round(pid, k):
+                pending.pop((pid, k), None)
+                continue
+            inbox = sort_delivery(pending.pop((pid, k), []))
+            automaton = automata[pid]
+            automaton.deliver(k, inbox)
+            delivered[pid] = inbox
+            if automaton.decided and pid not in decided_at:
+                decided_at[pid] = (automaton.decision, k)
+                decided_this_round[pid] = automaton.decision
+            if automaton.halted:
+                halted_this_round.add(pid)
+
+        halted.update(halted_this_round)
+        records.append(
+            RoundRecord(
+                round=k,
+                sent=sent,
+                delivered=delivered,
+                decided=decided_this_round,
+                crashed=schedule.crashed_in(k),
+                halted=frozenset(halted_this_round),
+            )
+        )
+
+        if stop_when_quiescent:
+            still_running = [
+                pid
+                for pid in range(n)
+                if pid not in halted and schedule.completes_round(pid, k)
+            ]
+            if not still_running:
+                break
+
+    return Trace(
+        schedule=schedule,
+        proposals=proposals,
+        rounds=tuple(records),
+        decisions=decided_at,
+    )
+
+
+def run_algorithm(
+    factory,
+    schedule: Schedule,
+    proposals: Sequence[Value],
+    *,
+    max_rounds: Round | None = None,
+) -> Trace:
+    """Convenience wrapper: build automata from *factory* and execute.
+
+    Equivalent to ``execute(make_automata(factory, n, t, proposals),
+    schedule)``; exists because nearly every test, bench and example starts
+    a run this way.
+    """
+    from repro.algorithms.base import make_automata
+
+    automata = make_automata(factory, schedule.n, schedule.t, proposals)
+    return execute(automata, schedule, max_rounds=max_rounds)

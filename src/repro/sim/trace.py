@@ -1,0 +1,200 @@
+"""Run traces: the complete record of one simulated execution.
+
+A :class:`Trace` captures, for every round, what each process sent, what it
+received, when it decided, crashed or halted.  Two runs are
+*indistinguishable at process p through round k* exactly when p's
+:meth:`Trace.view` prefixes agree — the central notion of the paper's lower
+bound proof (Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.model.messages import Message
+from repro.model.schedule import Schedule
+from repro.types import Payload, ProcessId, Round, Value
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What happened in a single round.
+
+    Attributes:
+        round: the 1-based round number.
+        sent: payload broadcast by each process, or ``None`` if the process
+            did not send this round (already crashed or halted).
+        delivered: messages received by each process that completed the
+            round's receive phase, in canonical order.  Processes that
+            crashed mid-round, or had halted, are absent.
+        decided: decisions made during this round's receive phase.
+        crashed: processes that crashed in this round.
+        halted: processes that halted (returned) at the end of this round.
+    """
+
+    round: Round
+    sent: Mapping[ProcessId, Payload | None]
+    delivered: Mapping[ProcessId, tuple[Message, ...]]
+    decided: Mapping[ProcessId, Value]
+    crashed: frozenset[ProcessId]
+    halted: frozenset[ProcessId]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """The full record of one run.
+
+    Attributes:
+        schedule: the adversary schedule the run was executed against.
+        proposals: the value proposed by each process, by id.
+        rounds: per-round records, ``rounds[0]`` being round 1.
+        decisions: for each process that decided, its decision value and
+            the round in which it decided.
+    """
+
+    schedule: Schedule
+    proposals: tuple[Value, ...]
+    rounds: tuple[RoundRecord, ...]
+    decisions: Mapping[ProcessId, tuple[Value, Round]] = field(
+        default_factory=dict
+    )
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.schedule.n
+
+    @property
+    def t(self) -> int:
+        return self.schedule.t
+
+    @property
+    def rounds_executed(self) -> int:
+        return len(self.rounds)
+
+    def record(self, k: Round) -> RoundRecord:
+        """The record for round *k* (1-based)."""
+        return self.rounds[k - 1]
+
+    def decision_value(self, pid: ProcessId) -> Value | None:
+        entry = self.decisions.get(pid)
+        return entry[0] if entry is not None else None
+
+    def decision_round(self, pid: ProcessId) -> Round | None:
+        entry = self.decisions.get(pid)
+        return entry[1] if entry is not None else None
+
+    def decided_values(self) -> set[Value]:
+        return {value for value, _round in self.decisions.values()}
+
+    def deciders(self) -> frozenset[ProcessId]:
+        return frozenset(self.decisions)
+
+    def global_decision_round(self) -> Round | None:
+        """The round at which the run achieves a *global decision*.
+
+        Per the paper (Section 1.3): the round k such that every process
+        that ever decides does so at round k or lower, and at least one
+        process decides at round k.  ``None`` if no process decided within
+        the simulated horizon.
+        """
+        if not self.decisions:
+            return None
+        return max(round_ for _value, round_ in self.decisions.values())
+
+    def first_decision_round(self) -> Round | None:
+        if not self.decisions:
+            return None
+        return min(round_ for _value, round_ in self.decisions.values())
+
+    # -- process views (indistinguishability) -------------------------------
+
+    def view(self, pid: ProcessId, upto: Round) -> tuple:
+        """The local history of *pid* through round *upto*, as a hashable value.
+
+        The view consists of the process's proposal followed by one entry
+        per round: the payload it sent (``None`` if it did not send) and
+        the canonical tuple of ``(sent_round, sender, payload)`` triples it
+        received (``None`` if it did not complete the round).  Because
+        automata are deterministic, equal view prefixes imply equal process
+        states — the formal sense in which two runs are indistinguishable
+        at a process.
+        """
+        entries = []
+        for k in range(1, min(upto, self.rounds_executed) + 1):
+            rec = self.record(k)
+            sent = rec.sent.get(pid)
+            delivered = rec.delivered.get(pid)
+            received = (
+                tuple((m.sent_round, m.sender, m.payload) for m in delivered)
+                if delivered is not None
+                else None
+            )
+            entries.append((k, sent, received))
+        return (self.proposals[pid], tuple(entries))
+
+    def completed(self, pid: ProcessId, k: Round) -> bool:
+        """True iff *pid* completed round k's receive phase in this run."""
+        if k > self.rounds_executed:
+            return False
+        return pid in self.record(k).delivered
+
+    # -- convenience -------------------------------------------------------
+
+    def crash_rounds(self) -> dict[ProcessId, Round]:
+        return {
+            pid: spec.round for pid, spec in self.schedule.crashes.items()
+        }
+
+    def alive_at_end(self) -> frozenset[ProcessId]:
+        return self.schedule.correct
+
+    def iter_messages(self) -> Iterator[Message]:
+        """All messages delivered in the run, in round order."""
+        for rec in self.rounds:
+            for msgs in rec.delivered.values():
+                yield from msgs
+
+    def message_count(self) -> int:
+        return sum(
+            len(msgs)
+            for rec in self.rounds
+            for msgs in rec.delivered.values()
+        )
+
+    def describe(self) -> str:
+        """Human-readable multi-line dump, for examples and debugging."""
+        lines = [
+            f"Trace: n={self.n} t={self.t} "
+            f"rounds={self.rounds_executed} proposals={list(self.proposals)}"
+        ]
+        for rec in self.rounds:
+            parts = [f"  round {rec.round}:"]
+            if rec.crashed:
+                parts.append(f"crashed={sorted(rec.crashed)}")
+            if rec.decided:
+                decided = {p: v for p, v in sorted(rec.decided.items())}
+                parts.append(f"decided={decided}")
+            if rec.halted:
+                parts.append(f"halted={sorted(rec.halted)}")
+            lines.append(" ".join(parts))
+        if self.decisions:
+            lines.append(
+                "  decisions: "
+                + ", ".join(
+                    f"p{p}->{v}@r{r}"
+                    for p, (v, r) in sorted(self.decisions.items())
+                )
+            )
+        else:
+            lines.append("  decisions: none within horizon")
+        return "\n".join(lines)
+
+
+def views_equal(
+    trace_a: Trace, trace_b: Trace, pid: ProcessId, upto: Round
+) -> bool:
+    """True iff *pid* cannot distinguish the two runs through round *upto*."""
+    return trace_a.view(pid, upto) == trace_b.view(pid, upto)

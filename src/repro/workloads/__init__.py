@@ -1,0 +1,31 @@
+"""Workload generators: crash patterns and (a)synchrony shapes.
+
+These produce the adversary schedules the experiments sweep over:
+
+* :mod:`repro.workloads.crash_patterns` — synchronous runs with structured
+  crashes (serial cascades, value-hiding chains, block crashes);
+* :mod:`repro.workloads.synchrony` — eventually-synchronous shapes
+  (asynchronous prefixes, partitions, coordinator targeting).
+"""
+
+from repro.workloads.crash_patterns import (
+    block_crashes,
+    coordinator_killer,
+    serial_cascade,
+    value_hiding_chain,
+)
+from repro.workloads.synchrony import (
+    async_prefix,
+    partitioned_prefix,
+    rotating_delays,
+)
+
+__all__ = [
+    "serial_cascade",
+    "value_hiding_chain",
+    "block_crashes",
+    "coordinator_killer",
+    "async_prefix",
+    "partitioned_prefix",
+    "rotating_delays",
+]

@@ -1,0 +1,114 @@
+"""Structured crash patterns for synchronous runs.
+
+These are the adversaries of the paper's synchronous-run analyses: serial
+cascades (at most one crash per round — the runs the bivalency proof is
+built from), the classic value-hiding chain that forces FloodSet to use
+all t + 1 rounds, and coordinator-killing cascades that force the
+rotating-coordinator baselines to their 2t + 2 / 3t + 3 worst cases.
+"""
+
+from __future__ import annotations
+
+from repro.model.schedule import Schedule, ScheduleBuilder
+from repro.types import ProcessId, Round, validate_system_size
+
+
+def serial_cascade(
+    n: int,
+    t: int,
+    horizon: Round,
+    *,
+    crashers: tuple[ProcessId, ...] | None = None,
+    start_round: Round = 1,
+    deliver_to_next: bool = False,
+) -> Schedule:
+    """A synchronous run with one crash per round, rounds start..start+f-1.
+
+    Args:
+        crashers: processes to crash, in order (default: the last f ids,
+            keeping low ids — typical coordinators — alive).  ``len``
+            determines f <= t.
+        start_round: round of the first crash.
+        deliver_to_next: if True, each crasher's round message reaches only
+            the next crasher in the chain (value hiding); if False, it
+            reaches nobody.
+    """
+    validate_system_size(n, t)
+    if crashers is None:
+        crashers = tuple(range(n - 1, n - 1 - t, -1))
+    if len(crashers) > t:
+        raise ValueError(f"{len(crashers)} crashers exceed t={t}")
+    builder = ScheduleBuilder(n, t, horizon)
+    for index, pid in enumerate(crashers):
+        receivers: tuple[ProcessId, ...] = ()
+        if deliver_to_next and index + 1 < len(crashers):
+            receivers = (crashers[index + 1],)
+        builder.crash(pid, start_round + index, delivered_to=receivers)
+    return builder.build()
+
+
+def value_hiding_chain(n: int, t: int, horizon: Round) -> Schedule:
+    """The classic FloodSet worst case: a t-link value-hiding chain.
+
+    Process 0 (holding the minimum proposal, by convention) crashes in
+    round 1 delivering only to process 1; process 1 crashes in round 2
+    delivering only to process 2; and so on.  The hidden value surfaces at
+    exactly one new process per round, forcing FloodSet to flood for the
+    full t + 1 rounds.  Use with strictly increasing proposals.
+    """
+    validate_system_size(n, t)
+    builder = ScheduleBuilder(n, t, horizon)
+    for index in range(t):
+        builder.crash(index, index + 1, delivered_to=(index + 1,))
+    return builder.build()
+
+
+def block_crashes(
+    n: int,
+    t: int,
+    horizon: Round,
+    *,
+    round_: Round = 1,
+    count: int | None = None,
+) -> Schedule:
+    """A synchronous (non-serial) run: *count* processes crash in one round.
+
+    Crashers deliver to nobody.  Useful for checking that algorithms do not
+    secretly rely on the serial (one-crash-per-round) structure.
+    """
+    validate_system_size(n, t)
+    f = t if count is None else count
+    if f > t:
+        raise ValueError(f"count={f} exceeds t={t}")
+    builder = ScheduleBuilder(n, t, horizon)
+    for pid in range(n - f, n):
+        builder.crash(pid, round_, delivered_to=())
+    return builder.build()
+
+
+def coordinator_killer(
+    n: int,
+    t: int,
+    horizon: Round,
+    *,
+    rounds_per_cycle: int,
+    f: int | None = None,
+) -> Schedule:
+    """Crash each cycle's coordinator just before it can help.
+
+    The rotating-coordinator baselines use coordinator c(ρ) = (ρ−1) mod n
+    and ``rounds_per_cycle`` ES rounds per cycle ρ.  This schedule crashes
+    coordinator p_{ρ−1} in the *first* round of cycle ρ, delivering to
+    nobody, for ρ = 1..f — the adversary behind the Hurfin–Raynal 2t + 2
+    (2 rounds/cycle) and Chandra–Toueg 3t + 3 (3 rounds/cycle) worst cases.
+    """
+    validate_system_size(n, t)
+    f = t if f is None else f
+    if f > t:
+        raise ValueError(f"f={f} exceeds t={t}")
+    builder = ScheduleBuilder(n, t, horizon)
+    for cycle in range(1, f + 1):
+        coordinator = (cycle - 1) % n
+        first_round = rounds_per_cycle * (cycle - 1) + 1
+        builder.crash(coordinator, first_round, delivered_to=())
+    return builder.build()

@@ -1,0 +1,132 @@
+"""Eventually-synchronous workload shapes: asynchronous prefixes, partitions.
+
+These generators build ES-legal schedules whose synchrony round K is
+strictly greater than 1 — the runs in which indulgence earns its keep.
+All of them preserve t-resilience (each process still receives ≥ n − t
+current-round messages per round) and reliable channels (correct→correct
+messages are delayed, never lost).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleError
+from repro.model.schedule import Schedule, ScheduleBuilder
+from repro.types import ProcessId, Round, validate_system_size
+
+
+def rotating_delays(
+    n: int,
+    t: int,
+    horizon: Round,
+    *,
+    async_rounds: Round,
+    delay_by: Round = 1,
+) -> Schedule:
+    """An asynchronous prefix in which one sender per round is "slow".
+
+    In every round k ≤ async_rounds, the messages of victim (k−1) mod n to
+    all other processes are delayed by *delay_by* rounds (capped at the
+    horizon), so every other process falsely suspects the victim that
+    round.  Each receiver still hears from n − 1 ≥ n − t senders, so
+    t-resilience holds with t ≥ 1.  Rounds after *async_rounds* are
+    synchronous.
+    """
+    validate_system_size(n, t)
+    if t < 1:
+        raise ScheduleError("rotating_delays needs t >= 1 for t-resilience")
+    builder = ScheduleBuilder(n, t, horizon)
+    for k in range(1, min(async_rounds, horizon) + 1):
+        victim = (k - 1) % n
+        until = min(k + delay_by, horizon)
+        if until <= k:
+            continue
+        for receiver in range(n):
+            if receiver != victim:
+                builder.delay(victim, receiver, k, until)
+    return builder.build()
+
+
+def async_prefix(
+    n: int,
+    t: int,
+    horizon: Round,
+    *,
+    k: Round,
+    crashes_after: int = 0,
+    crash_delivered_to: tuple[ProcessId, ...] = (),
+) -> Schedule:
+    """A run that is synchronous after round *k*, with f crashes after k.
+
+    Rounds 1..k are made asynchronous via rotating single-sender delays
+    (delivered in the next round); rounds k+1..k+f each crash one process
+    (the highest ids, delivering to ``crash_delivered_to``); everything
+    else is synchronous.  This is the workload of Lemma 15 / experiment
+    E8: A_{f+2} must globally decide by round k + f + 2.
+    """
+    validate_system_size(n, t)
+    if crashes_after > t:
+        raise ScheduleError(f"crashes_after={crashes_after} exceeds t={t}")
+    builder = ScheduleBuilder(n, t, horizon)
+    for round_ in range(1, min(k, horizon) + 1):
+        victim = (round_ - 1) % n
+        until = min(round_ + 1, horizon)
+        if until <= round_:
+            continue
+        for receiver in range(n):
+            if receiver != victim:
+                builder.delay(victim, receiver, round_, until)
+    for index in range(crashes_after):
+        pid = n - 1 - index
+        builder.crash(
+            pid, k + 1 + index, delivered_to=crash_delivered_to
+        )
+    return builder.build()
+
+
+def partitioned_prefix(
+    n: int,
+    t: int,
+    horizon: Round,
+    *,
+    rounds: Round,
+    groups: tuple[tuple[ProcessId, ...], tuple[ProcessId, ...]] | None = None,
+    heal_at: Round | None = None,
+) -> Schedule:
+    """Two communication islands for the first *rounds* rounds.
+
+    Cross-group messages sent in rounds 1..rounds are delayed until
+    *heal_at* (default: rounds + 1).  Each group must have at least n − t
+    members for t-resilience to survive — which is possible exactly when
+    t ≥ n/2.  With t < n/2 this generator raises: the majority requirement
+    is what makes indulgent consensus safe, and experiment E10 uses this
+    generator (with an over-large t) to reproduce the split-brain
+    disagreement the paper recalls from Chandra & Toueg.
+    """
+    validate_system_size(n, t)
+    if groups is None:
+        half = n // 2
+        groups = (tuple(range(half)), tuple(range(half, n)))
+    group_a, group_b = groups
+    if set(group_a) | set(group_b) != set(range(n)) or set(group_a) & set(
+        group_b
+    ):
+        raise ScheduleError("groups must partition the process set")
+    if min(len(group_a), len(group_b)) < n - t:
+        raise ScheduleError(
+            f"a group of {min(len(group_a), len(group_b))} processes cannot "
+            f"satisfy t-resilience (needs >= n-t = {n - t}); partitions are "
+            f"only ES-legal when t >= n/2"
+        )
+    heal = rounds + 1 if heal_at is None else heal_at
+    heal = min(heal, horizon)
+    builder = ScheduleBuilder(n, t, horizon)
+    for k in range(1, min(rounds, horizon) + 1):
+        for sender in group_a:
+            for receiver in group_b:
+                if heal > k:
+                    builder.delay(sender, receiver, k, heal)
+        for sender in group_b:
+            for receiver in group_a:
+                if heal > k:
+                    builder.delay(sender, receiver, k, heal)
+    return builder.build()

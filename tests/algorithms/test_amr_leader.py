@@ -1,0 +1,62 @@
+"""Tests for the Mostéfaoui–Raynal leader-based consensus (t < n/3)."""
+
+import pytest
+
+from repro import AMRLeaderES, Schedule
+from repro.analysis.metrics import check_consensus
+from repro.errors import AlgorithmError
+from repro.sim.kernel import run_algorithm
+from repro.sim.random_schedules import random_es_schedule, random_proposals
+from repro.workloads import async_prefix, serial_cascade
+from tests.conftest import run_and_check
+
+
+class TestResilienceGate:
+    def test_rejects_t_at_third(self):
+        with pytest.raises(AlgorithmError, match="n/3"):
+            AMRLeaderES(0, 6, 2, 1)
+
+    def test_accepts_below_third(self):
+        AMRLeaderES(0, 7, 2, 1)
+
+
+class TestDecisions:
+    def test_failure_free_decides_in_two_rounds(self):
+        schedule = Schedule.failure_free(4, 1, 10)
+        trace = run_and_check(AMRLeaderES, schedule, [5, 3, 8, 6])
+        assert trace.global_decision_round() == 2
+        # The leader (minimum id among senders) is p0.
+        assert trace.decided_values() == {5}
+
+    def test_leader_crash_costs_a_cycle(self):
+        # p0 (initial leader) crashes in round 1 delivering to nobody:
+        # cycle 1 fails to unify candidates, cycle 2 (leader p1) decides.
+        schedule = serial_cascade(
+            4, 1, 12, crashers=(0,), start_round=1
+        )
+        trace = run_and_check(AMRLeaderES, schedule, [5, 3, 8, 6])
+        assert trace.global_decision_round() <= 4
+
+    def test_sync_after_k_decides_by_k_plus_2f_plus_2(self):
+        for k in (0, 2, 4):
+            for f in (0, 1, 2):
+                schedule = async_prefix(
+                    7, 2, k + 2 * f + 10, k=k, crashes_after=f
+                )
+                trace = run_and_check(
+                    AMRLeaderES, schedule, [3, 1, 4, 1, 5, 2, 6]
+                )
+                assert trace.global_decision_round() <= k + 2 * f + 2, (
+                    k, f, trace.describe()
+                )
+
+
+class TestRandomizedSafety:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_es_runs_safe(self, seed):
+        schedule = random_es_schedule(7, 2, seed, horizon=24, sync_by=8)
+        trace = run_algorithm(
+            AMRLeaderES, schedule, random_proposals(7, seed)
+        )
+        problems = check_consensus(trace, expect_termination=False)
+        assert not problems, (seed, problems)

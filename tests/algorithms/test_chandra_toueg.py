@@ -1,0 +1,72 @@
+"""Tests for the Chandra–Toueg-style ◇S consensus in ES."""
+
+import pytest
+
+from repro import ChandraTouegES, Schedule
+from repro.algorithms.chandra_toueg import cycle_of
+from repro.analysis.metrics import check_consensus
+from repro.sim.kernel import run_algorithm
+from repro.sim.random_schedules import random_es_schedule, random_proposals
+from repro.workloads import coordinator_killer, rotating_delays
+from tests.conftest import run_and_check
+
+
+class TestCycleArithmetic:
+    def test_cycle_of(self):
+        assert cycle_of(1) == (1, 1)
+        assert cycle_of(2) == (1, 2)
+        assert cycle_of(3) == (1, 3)
+        assert cycle_of(4) == (2, 1)
+        assert cycle_of(7) == (3, 1)
+
+    def test_coordinator_rotates(self):
+        assert ChandraTouegES.coordinator(1, 4) == 0
+        assert ChandraTouegES.coordinator(4, 4) == 3
+        assert ChandraTouegES.coordinator(5, 4) == 0
+
+
+class TestDecisions:
+    def test_failure_free_decides_in_three_rounds(self):
+        schedule = Schedule.failure_free(4, 1, 10)
+        trace = run_and_check(ChandraTouegES, schedule, [5, 3, 8, 6])
+        assert trace.global_decision_round() == 3
+        # Cycle 1's coordinator p0 proposes its own estimate (all
+        # timestamps are 0; ties break to the lowest sender id).
+        assert trace.decided_values() == {5}
+
+    @pytest.mark.parametrize("t", [1, 2, 3])
+    def test_coordinator_killer_takes_3t_plus_3(self, t):
+        n = 2 * t + 1
+        schedule = coordinator_killer(
+            n, t, 3 * t + 6, rounds_per_cycle=3
+        )
+        trace = run_and_check(ChandraTouegES, schedule, list(range(n)))
+        assert trace.global_decision_round() == 3 * t + 3
+
+    def test_crashed_coordinator_mid_proposal(self):
+        # Coordinator crashes in its proposal round delivering to one
+        # process only; locking must keep agreement.
+        from repro.model.schedule import ScheduleBuilder
+
+        builder = ScheduleBuilder(5, 2, 14)
+        builder.crash(0, 2, delivered_to=(1,))
+        trace = run_and_check(
+            ChandraTouegES, builder.build(), [2, 7, 5, 9, 4]
+        )
+        assert len(trace.decided_values()) == 1
+
+    def test_survives_async_prefix(self):
+        schedule = rotating_delays(5, 2, 16, async_rounds=6)
+        trace = run_and_check(ChandraTouegES, schedule, [3, 1, 4, 1, 5])
+        assert len(trace.decided_values()) == 1
+
+
+class TestRandomizedSafety:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_es_runs_safe(self, seed):
+        schedule = random_es_schedule(5, 2, seed, horizon=24, sync_by=8)
+        trace = run_algorithm(
+            ChandraTouegES, schedule, random_proposals(5, seed)
+        )
+        problems = check_consensus(trace, expect_termination=False)
+        assert not problems, (seed, problems)

@@ -1,0 +1,73 @@
+"""Tests for the Hurfin–Raynal-style ◇S consensus: the 2t + 2 baseline."""
+
+import pytest
+
+from repro import HurfinRaynalES, Schedule
+from repro.algorithms.hurfin_raynal import cycle_of
+from repro.analysis.metrics import check_consensus
+from repro.sim.kernel import run_algorithm
+from repro.sim.random_schedules import random_es_schedule, random_proposals
+from repro.workloads import coordinator_killer, rotating_delays
+from tests.conftest import run_and_check
+
+
+class TestCycleArithmetic:
+    def test_cycle_of(self):
+        assert cycle_of(1) == (1, 1)
+        assert cycle_of(2) == (1, 2)
+        assert cycle_of(3) == (2, 1)
+        assert cycle_of(4) == (2, 2)
+
+
+class TestDecisions:
+    def test_failure_free_decides_in_two_rounds(self):
+        schedule = Schedule.failure_free(4, 1, 10)
+        trace = run_and_check(HurfinRaynalES, schedule, [5, 3, 8, 6])
+        assert trace.global_decision_round() == 2
+        assert trace.decided_values() == {5}  # coordinator p0's estimate
+
+    @pytest.mark.parametrize("t", [1, 2, 3])
+    def test_coordinator_killer_takes_2t_plus_2(self, t):
+        """The paper's headline baseline: HR has a 2t+2 synchronous run."""
+        n = 2 * t + 1
+        schedule = coordinator_killer(
+            n, t, 2 * t + 6, rounds_per_cycle=2
+        )
+        trace = run_and_check(HurfinRaynalES, schedule, list(range(n)))
+        assert trace.global_decision_round() == 2 * t + 2
+
+    def test_partial_proposal_delivery_keeps_agreement(self):
+        from repro.model.schedule import ScheduleBuilder
+
+        builder = ScheduleBuilder(5, 2, 14)
+        builder.crash(0, 1, delivered_to=(1,))  # proposal reaches p1 only
+        trace = run_and_check(
+            HurfinRaynalES, builder.build(), [2, 7, 5, 9, 4]
+        )
+        assert len(trace.decided_values()) == 1
+
+    def test_adoption_propagates_coordinator_value(self):
+        # p0's value must win even if only one ack quorum member saw it,
+        # thanks to est adoption on any received ack.
+        from repro.model.schedule import ScheduleBuilder
+
+        builder = ScheduleBuilder(3, 1, 12)
+        builder.crash(0, 1, delivered_to=(1,))
+        trace = run_and_check(HurfinRaynalES, builder.build(), [0, 5, 9])
+        assert trace.decided_values() == {0}
+
+    def test_survives_async_prefix(self):
+        schedule = rotating_delays(5, 2, 16, async_rounds=5)
+        trace = run_and_check(HurfinRaynalES, schedule, [3, 1, 4, 1, 5])
+        assert len(trace.decided_values()) == 1
+
+
+class TestRandomizedSafety:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_es_runs_safe(self, seed):
+        schedule = random_es_schedule(5, 2, seed, horizon=24, sync_by=8)
+        trace = run_algorithm(
+            HurfinRaynalES, schedule, random_proposals(5, seed)
+        )
+        problems = check_consensus(trace, expect_termination=False)
+        assert not problems, (seed, problems)

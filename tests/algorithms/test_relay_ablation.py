@@ -1,0 +1,61 @@
+"""Tests for the DECIDE-relay ablation flag."""
+
+from repro import ATt2
+from repro.model.schedule import ScheduleBuilder
+from repro.sim.kernel import run_algorithm
+from repro.types import ProcessId, Value
+
+
+class ATt2NoRelay(ATt2):
+    """A_{t+2} whose DECIDE adopters halt without re-broadcasting."""
+
+    relay_decision = False
+
+
+def delayed_announcement_schedule(horizon=16):
+    """n=3, t=1: p1 decides fast; the original DECIDEs to p2 are delayed.
+
+    Phase 1 false suspicions give p0 a ⊥ new estimate; p0's round-3
+    NEWESTIMATE to p1 is delayed so p1 alone takes the fast path at t+2.
+    p1's round-4 DECIDE to p2 is delayed far into the future, so p2's only
+    quick path to a decision is p0's *relay* of the DECIDE in round 5.
+    """
+    builder = ScheduleBuilder(3, 1, horizon)
+    for k in (1, 2):
+        builder.delay(0, 1, k, 3)
+        builder.delay(0, 2, k, 3)
+    builder.delay(0, 1, 3, 5)   # p1 misses the ⊥, decides at round 3
+    builder.delay(1, 2, 4, 14)  # p1's DECIDE to p2 crawls
+    return builder.build()
+
+
+class TestRelayMatters:
+    def test_with_relay_p2_decides_via_p0(self):
+        schedule = delayed_announcement_schedule()
+        trace = run_algorithm(ATt2.factory(), schedule, [0, 1, 1])
+        assert trace.decision_round(1) == 3
+        assert trace.decision_round(0) == 4  # adopted p1's DECIDE
+        # p0 relays in round 5; p2 decides from the relay.
+        assert trace.decision_round(2) == 5
+
+    def test_without_relay_p2_waits_for_the_original(self):
+        schedule = delayed_announcement_schedule()
+
+        def factory(pid: ProcessId, n: int, t: int, proposal: Value):
+            return ATt2NoRelay(pid, n, t, proposal)
+
+        trace = run_algorithm(factory, schedule, [0, 1, 1])
+        assert trace.decision_round(1) == 3
+        assert trace.decision_round(0) == 4
+        # No relay: p2 must wait for p1's delayed DECIDE (or its own C).
+        assert trace.decision_round(2) > 5
+
+    def test_ablation_never_affects_safety(self):
+        schedule = delayed_announcement_schedule()
+
+        def factory(pid: ProcessId, n: int, t: int, proposal: Value):
+            return ATt2NoRelay(pid, n, t, proposal)
+
+        with_relay = run_algorithm(ATt2.factory(), schedule, [0, 1, 1])
+        without = run_algorithm(factory, schedule, [0, 1, 1])
+        assert with_relay.decided_values() == without.decided_values()

@@ -1,0 +1,101 @@
+"""Unit tests for the shared estimate/Halt bookkeeping (Figure 2's compute())."""
+
+from repro.algorithms.suspicion import ESTIMATE, EstimateState, estimate_payload
+from repro.model.messages import Message
+
+
+def est_message(k, sender, receiver, est, halt=frozenset()):
+    return Message(
+        sent_round=k,
+        sender=sender,
+        receiver=receiver,
+        payload=estimate_payload(k, est, frozenset(halt)),
+    )
+
+
+class TestCompute:
+    def test_min_estimate_adopted(self):
+        state = EstimateState(pid=0, n=3, est=5)
+        state.compute(
+            1,
+            (
+                est_message(1, 0, 0, 5),
+                est_message(1, 1, 0, 3),
+                est_message(1, 2, 0, 7),
+            ),
+        )
+        assert state.est == 3
+        assert state.halt == frozenset()
+
+    def test_missing_sender_is_suspected(self):
+        state = EstimateState(pid=0, n=3, est=5)
+        state.compute(
+            1,
+            (est_message(1, 0, 0, 5), est_message(1, 1, 0, 3)),
+        )
+        assert state.halt == frozenset({2})
+
+    def test_sender_suspecting_me_joins_halt(self):
+        state = EstimateState(pid=0, n=3, est=5)
+        state.compute(
+            1,
+            (
+                est_message(1, 0, 0, 5),
+                est_message(1, 1, 0, 3, halt={0}),
+                est_message(1, 2, 0, 7),
+            ),
+        )
+        assert 1 in state.halt
+
+    def test_halt_members_excluded_from_msgset(self):
+        state = EstimateState(pid=0, n=3, est=5, halt=frozenset({1}))
+        state.compute(
+            1,
+            (
+                est_message(1, 0, 0, 5),
+                est_message(1, 1, 0, 0),  # est 0 but sender is in Halt
+                est_message(1, 2, 0, 7),
+            ),
+        )
+        assert state.est == 5
+
+    def test_estimate_monotone_nonincreasing(self):
+        state = EstimateState(pid=0, n=3, est=2)
+        state.compute(
+            1,
+            (
+                est_message(1, 0, 0, 2),
+                est_message(1, 1, 0, 9),
+                est_message(1, 2, 0, 4),
+            ),
+        )
+        # Own message keeps the current minimum in play.
+        assert state.est == 2
+
+    def test_never_self_suspects(self):
+        state = EstimateState(pid=0, n=3, est=5)
+        for k in (1, 2, 3):
+            state.compute(k, (est_message(k, 0, 0, state.est),))
+        assert 0 not in state.halt
+        assert state.halt == frozenset({1, 2})
+
+    def test_delayed_and_foreign_messages_ignored(self):
+        state = EstimateState(pid=0, n=3, est=5)
+        stale = est_message(1, 1, 0, 0)  # sent in round 1...
+        state.compute(2, (est_message(2, 0, 0, 5), stale))
+        # ... so in round 2 it neither updates est nor clears suspicion.
+        assert state.est == 5
+        assert 1 in state.halt
+
+    def test_payload_roundtrip(self):
+        state = EstimateState(pid=0, n=3, est=5, halt=frozenset({2}))
+        assert state.payload(4) == (ESTIMATE, 4, 5, frozenset({2}))
+
+    def test_msg_set_senders(self):
+        state = EstimateState(pid=0, n=3, est=5, halt=frozenset({1}))
+        msgs = (
+            est_message(2, 0, 0, 5),
+            est_message(2, 1, 0, 1),
+            est_message(2, 2, 0, 3),
+        )
+        assert state.msg_set_senders(2, msgs) == frozenset({0, 2})

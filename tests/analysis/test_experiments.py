@@ -1,0 +1,77 @@
+"""Tests for the compact experiment row-generators used by the CLI."""
+
+from repro.analysis.experiments import (
+    all_experiments,
+    detector_simulation,
+    diamond_s_gap,
+    eventual_fast_decision,
+    failure_free_optimization,
+    price_of_indulgence,
+    split_brain,
+)
+
+
+class TestPriceOfIndulgence:
+    def test_rows_match_paper(self):
+        _title, _headers, rows = price_of_indulgence(5, 2)
+        by_name = {row[0]: row for row in rows}
+        assert by_name["FloodSet (SCS)"][1] == 3
+        assert by_name["A_t+2 (ES)"][1] == 4
+        assert by_name["Hurfin-Raynal (ES)"][1] == 6
+        assert by_name["Chandra-Toueg (ES)"][1] == 9
+
+    def test_measured_equals_paper_column(self):
+        _title, _headers, rows = price_of_indulgence(5, 2)
+        for _name, worst, paper, _witness in rows:
+            assert worst == paper
+
+
+class TestDiamondSGap:
+    def test_gap_grows_linearly(self):
+        _title, _headers, rows = diamond_s_gap((1, 2, 3))
+        for _n, t, asd, asd_paper, hr, hr_paper in rows:
+            assert asd == asd_paper == t + 2
+            assert hr == hr_paper == 2 * t + 2
+
+
+class TestFailureFree:
+    def test_optimized_always_two(self):
+        _title, _headers, rows = failure_free_optimization(((3, 1), (5, 2)))
+        for _n, t, plain, optimized, crashy in rows:
+            assert plain == t + 2
+            assert optimized == 2
+            assert crashy == t + 2
+
+
+class TestEventualFast:
+    def test_bounds_hold(self):
+        _title, _headers, rows = eventual_fast_decision(7, 2)
+        for k, f, afp2, afp2_bound, amr, amr_bound in rows:
+            assert afp2 <= afp2_bound, (k, f)
+            assert amr <= amr_bound, (k, f)
+            assert afp2 <= amr
+
+
+class TestSplitBrain:
+    def test_always_violated(self):
+        _title, _headers, rows = split_brain(((4, 2),))
+        assert rows[0][2] == "[0, 1]"
+        assert rows[0][3] == "VIOLATED"
+
+
+class TestDetectorSimulation:
+    def test_all_satisfied(self):
+        _title, _headers, rows = detector_simulation(samples=15)
+        for _prop, satisfied, checked in rows:
+            assert satisfied == checked
+
+
+class TestAllExperiments:
+    def test_returns_every_table(self):
+        tables = all_experiments()
+        ids = [title.split(":", 1)[0] for title, _h, _r in tables]
+        assert ids == ["E5", "E6", "E7", "E8", "E10", "E11"]
+        for _title, headers, rows in tables:
+            assert rows
+            for row in rows:
+                assert len(row) == len(headers)

@@ -1,0 +1,34 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(
+            ["name", "rounds"],
+            [["att2", 4], ["floodset", 3]],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("+-")
+        assert "| name     | rounds |" in text
+        # Numeric column right-aligned.
+        assert "|      4 |" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="E1: lower bound")
+        assert text.splitlines()[0] == "E1: lower bound"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "| a | b |" in text
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_mixed_column_left_aligned(self):
+        text = format_table(["v"], [["12"], ["x"]])
+        assert "| 12 |" in text

@@ -1,0 +1,65 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AFPlus2,
+    AMRLeaderES,
+    ATt2,
+    ATt2Optimized,
+    ADiamondS,
+    ChandraTouegES,
+    EarlyDecidingSCS,
+    FloodSet,
+    FloodSetWS,
+    HurfinRaynalES,
+)
+from repro.analysis.metrics import check_consensus
+from repro.sim.kernel import run_algorithm
+
+
+def es_algorithm_params():
+    """(name, factory) pairs for algorithms that solve consensus in ES.
+
+    Factories are rebuilt per call — A_{t+2} variants hold no shared state,
+    but fresh factories keep parametrized tests independent.
+    """
+    return [
+        ("att2", ATt2.factory()),
+        ("att2_optimized", ATt2Optimized.factory()),
+        ("adiamond_s", ADiamondS.factory()),
+        ("chandra_toueg", ChandraTouegES),
+        ("hurfin_raynal", HurfinRaynalES),
+    ]
+
+
+def scs_algorithm_params():
+    """(name, factory) pairs for algorithms sound in SCS only."""
+    return [
+        ("floodset", FloodSet),
+        ("floodset_ws", FloodSetWS),
+        ("early_deciding", EarlyDecidingSCS),
+    ]
+
+
+def third_resilient_params():
+    """(name, factory) pairs for the t < n/3 algorithms."""
+    return [
+        ("afp2", AFPlus2),
+        ("amr_leader", AMRLeaderES),
+    ]
+
+
+def run_and_check(factory, schedule, proposals, *, expect_termination=True):
+    """Run a consensus algorithm and assert the consensus properties."""
+    trace = run_algorithm(factory, schedule, proposals)
+    problems = check_consensus(trace, expect_termination=expect_termination)
+    assert not problems, f"{problems}\n{trace.describe()}"
+    return trace
+
+
+@pytest.fixture
+def att2_factory():
+    return ATt2.factory()

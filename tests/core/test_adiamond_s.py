@@ -1,0 +1,74 @@
+"""Tests for A_◇S (Figure 3): the ◇S transposition."""
+
+import pytest
+
+from repro import ADiamondS, Schedule
+from repro.algorithms.base import make_automata
+from repro.detectors import EventuallyStrong, simulate_from_schedule
+from repro.sim.kernel import execute
+from repro.sim.random_schedules import random_es_schedule, random_proposals
+from repro.workloads import coordinator_killer, rotating_delays
+from tests.conftest import run_and_check
+
+
+class TestFastDecision:
+    @pytest.mark.parametrize("n,t", [(3, 1), (5, 2), (7, 3)])
+    def test_synchronous_runs_decide_at_t_plus_2(self, n, t):
+        schedule = Schedule.failure_free(n, t, t + 6)
+        trace = run_and_check(ADiamondS.factory(), schedule, list(range(n)))
+        assert trace.global_decision_round() == t + 2
+
+    def test_beats_hurfin_raynal_baseline(self):
+        """Section 5.1: A_◇S decides at t+2 where HR needs 2t+2."""
+        from repro import HurfinRaynalES
+
+        n, t = 7, 3
+        # The HR-killer schedule: coordinators die one per 2-round cycle.
+        schedule = coordinator_killer(n, t, 2 * t + 6, rounds_per_cycle=2)
+        hr = run_and_check(HurfinRaynalES, schedule, list(range(n)))
+        asd = run_and_check(ADiamondS.factory(), schedule, list(range(n)))
+        assert hr.global_decision_round() == 2 * t + 2
+        assert asd.global_decision_round() == t + 2
+
+
+class TestSimulatedDetector:
+    def test_fd_history_matches_schedule_suspicions(self):
+        from repro.model.constraints import suspected_by
+
+        schedule = Schedule.synchronous(5, 2, 10, crashes={4: (2, [0])})
+        automata = make_automata(ADiamondS.factory(), 5, 2, [1, 2, 3, 4, 5])
+        execute(automata, schedule)
+        # While everyone is running (Phase 1), the recorded output equals
+        # the schedule-level suspicion sets of Section 4.
+        for pid in range(4):
+            for k in (1, 2, 3):
+                assert automata[pid].fd_history[k] == suspected_by(
+                    schedule, pid, k
+                )
+
+    def test_underlying_defaults_to_diamond_s_algorithm(self):
+        from repro.algorithms.hurfin_raynal import HurfinRaynalES
+
+        automaton = ADiamondS(0, 5, 2, 1)
+        assert automaton._underlying_factory is HurfinRaynalES
+
+    def test_schedule_detector_satisfies_diamond_s(self):
+        # The simulated detector over an eventually-synchronous schedule
+        # satisfies ◇S (via ◇P) — the premise of the transposition.
+        schedule = rotating_delays(5, 2, 14, async_rounds=4)
+        history = simulate_from_schedule(schedule)
+        assert EventuallyStrong.satisfied_by(history)
+
+
+class TestRandomizedSafety:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_es_runs_safe(self, seed):
+        from repro.analysis.metrics import check_consensus
+        from repro.sim.kernel import run_algorithm
+
+        schedule = random_es_schedule(5, 2, seed, horizon=30, sync_by=6)
+        trace = run_algorithm(
+            ADiamondS.factory(), schedule, random_proposals(5, seed)
+        )
+        problems = check_consensus(trace, expect_termination=False)
+        assert not problems, (seed, problems)

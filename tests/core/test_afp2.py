@@ -1,0 +1,99 @@
+"""Tests for A_{f+2} (Figure 5): eventual fast decision with t < n/3."""
+
+import pytest
+
+from repro import AFPlus2, AMRLeaderES, Schedule
+from repro.analysis.metrics import check_consensus
+from repro.errors import AlgorithmError
+from repro.sim.kernel import run_algorithm
+from repro.sim.random_schedules import random_es_schedule, random_proposals
+from repro.workloads import async_prefix, serial_cascade
+from tests.conftest import run_and_check
+
+
+class TestResilienceGate:
+    def test_rejects_t_at_third(self):
+        with pytest.raises(AlgorithmError, match="n/3"):
+            AFPlus2(0, 6, 2, 1)
+
+    def test_accepts_below_third(self):
+        AFPlus2(0, 4, 1, 1)
+
+
+class TestFastEventualDecision:
+    """Lemma 15: synchronous after k with f crashes after k -> k + f + 2."""
+
+    @pytest.mark.parametrize("k", [0, 1, 3])
+    @pytest.mark.parametrize("f", [0, 1, 2])
+    def test_decides_by_k_plus_f_plus_2(self, k, f):
+        n, t = 7, 2
+        schedule = async_prefix(n, t, k + f + 8, k=k, crashes_after=f)
+        trace = run_and_check(AFPlus2, schedule, [3, 1, 4, 1, 5, 2, 6])
+        assert trace.global_decision_round() <= k + f + 2, (
+            k, f, trace.describe(),
+        )
+
+    def test_value_hiding_cascade_slows_decision(self):
+        # Crashes carrying the minimum value delay convergence; the bound
+        # still holds.
+        n, t = 4, 1
+        schedule = serial_cascade(
+            n, t, 8, crashers=(0,), start_round=1, deliver_to_next=True
+        )
+        trace = run_and_check(AFPlus2, schedule, [0, 1, 2, 3])
+        assert trace.global_decision_round() <= 3  # f + 2 with f = 1
+
+    def test_faster_than_amr_on_crash_prefix(self):
+        """A_{f+2} is the 1-round/step optimization of AMR."""
+        n, t, f = 7, 2, 2
+        schedule = serial_cascade(n, t, 14, start_round=1)
+        afp2 = run_and_check(AFPlus2, schedule, list(range(n)))
+        amr = run_and_check(AMRLeaderES, schedule, list(range(n)))
+        assert afp2.global_decision_round() <= f + 2
+        assert afp2.global_decision_round() <= amr.global_decision_round()
+
+
+class TestCountingRules:
+    def test_unanimous_msgset_decides(self):
+        schedule = Schedule.failure_free(4, 1, 8)
+        trace = run_and_check(AFPlus2, schedule, [5, 5, 5, 5])
+        assert trace.global_decision_round() == 1  # immediate unanimity
+
+    def test_dominant_value_adopted_over_minimum(self):
+        # msgSet of p3 in round 1 = lowest n-t=3 senders {0,1,2} with
+        # ests [0, 1, 1]: the value 1 appears n-2t = 2 times, so it is
+        # adopted *instead of* the smaller 0 — the counting rule at work.
+        from repro.algorithms.base import make_automata
+        from repro.sim.kernel import execute
+
+        schedule = Schedule.synchronous(4, 1, 8, crashes={0: (1, [3])})
+        automata = make_automata(AFPlus2, 4, 1, [0, 1, 1, 2])
+        execute(automata, schedule)
+        # p3 received est 0 from the crashing p0, but adopted 1.
+        assert automata[3].decision == 1
+
+    def test_lowest_sender_selection_matters(self):
+        # With more than n-t messages received, only the lowest n-t sender
+        # ids count (Figure 5); the highest sender's estimate is invisible
+        # when everyone is alive.
+        schedule = Schedule.failure_free(4, 1, 8)
+        trace = run_and_check(AFPlus2, schedule, [1, 1, 1, 0])
+        # p3's 0 is outside everyone's msgSet = {0,1,2}: all see unanimous
+        # 1 and decide it; p3's own msgSet is also {0,1,2}.
+        assert trace.decided_values() == {1}
+
+
+class TestRandomizedSafety:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_es_runs_safe(self, seed):
+        schedule = random_es_schedule(7, 2, seed, horizon=24, sync_by=8)
+        trace = run_algorithm(AFPlus2, schedule, random_proposals(7, seed))
+        problems = check_consensus(trace, expect_termination=False)
+        assert not problems, (seed, problems)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_termination_with_synchronous_suffix(self, seed):
+        schedule = random_es_schedule(4, 1, seed, horizon=20, sync_by=6)
+        trace = run_algorithm(AFPlus2, schedule, random_proposals(4, seed))
+        problems = check_consensus(trace, expect_termination=True)
+        assert not problems, (seed, problems, trace.describe())

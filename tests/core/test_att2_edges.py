@@ -1,0 +1,95 @@
+"""Edge-case tests for A_{t+2}: factory plumbing, stale messages, wide t."""
+
+import pytest
+
+from repro import ATt2, ChandraTouegES, HurfinRaynalES, Schedule
+from repro.model.schedule import ScheduleBuilder
+from repro.sim.kernel import run_algorithm
+from tests.conftest import run_and_check
+
+
+class TestFactoryPlumbing:
+    def test_factory_name_mentions_class(self):
+        assert "ATt2" in ATt2.factory().__name__
+
+    def test_factory_binds_underlying(self):
+        factory = ATt2.factory(HurfinRaynalES)
+        automaton = factory(0, 5, 2, 1)
+        assert automaton._underlying_factory is HurfinRaynalES
+
+    def test_default_underlying_is_chandra_toueg(self):
+        automaton = ATt2(0, 5, 2, 1)
+        assert automaton._underlying_factory is ChandraTouegES
+
+    def test_underlying_not_built_on_fast_path(self):
+        from repro.algorithms.base import make_automata
+        from repro.sim.kernel import execute
+
+        automata = make_automata(ATt2.factory(), 3, 1, [1, 2, 3])
+        execute(automata, Schedule.failure_free(3, 1, 10))
+        for automaton in automata:
+            assert automaton._underlying is None
+
+
+class TestStaleMessages:
+    def test_delayed_estimates_do_not_unsettle_phase_two(self):
+        # Round-1 estimates crawling into round t+2 must be ignored by the
+        # NEWESTIMATE logic (they carry a different tag and round).
+        builder = ScheduleBuilder(3, 1, 12)
+        builder.delay(0, 1, 1, 3)  # arrives exactly in round t+2
+        trace = run_and_check(ATt2.factory(), builder.build(), [0, 1, 1])
+        assert len(trace.decided_values()) == 1
+
+    def test_delayed_new_estimates_do_not_reach_c(self):
+        # NEWESTIMATE delayed past t+2 lands in C's rounds; A must filter
+        # it out (sent_round <= offset) rather than feed it to C.
+        builder = ScheduleBuilder(3, 1, 20)
+        for k in (1, 2):
+            builder.delay(0, 1, k, 3)
+            builder.delay(0, 2, k, 3)
+        builder.delay(1, 2, 3, 6)  # p1's NEWESTIMATE crawls into C rounds
+        trace = run_and_check(ATt2.factory(), builder.build(), [0, 1, 1])
+        assert len(trace.decided_values()) == 1
+
+
+class TestWideResilience:
+    @pytest.mark.parametrize("n,t", [(7, 1), (7, 3), (11, 5)])
+    def test_t_extremes_still_t_plus_2(self, n, t):
+        schedule = Schedule.failure_free(n, t, t + 5)
+        trace = run_and_check(ATt2.factory(), schedule, list(range(n)))
+        assert trace.global_decision_round() == t + 2
+
+    def test_all_but_one_proposals_equal(self):
+        schedule = Schedule.failure_free(5, 2, 10)
+        trace = run_and_check(ATt2.factory(), schedule, [9, 9, 9, 9, 0])
+        assert trace.decided_values() == {0}
+
+    def test_unanimous_proposals(self):
+        schedule = Schedule.failure_free(5, 2, 10)
+        trace = run_and_check(ATt2.factory(), schedule, [7, 7, 7, 7, 7])
+        assert trace.decided_values() == {7}
+        assert trace.global_decision_round() == 4  # still no early exit
+
+
+class TestHaltBookkeeping:
+    def test_halt_sets_grow_monotonically(self):
+        schedule = Schedule.synchronous(
+            5, 2, 12, crashes={4: (1, []), 3: (2, [])}
+        )
+        trace = run_algorithm(ATt2.factory(), schedule, [3, 1, 4, 1, 5])
+        for pid in range(3):
+            previous = frozenset()
+            for k in (1, 2, 3):
+                payload = trace.record(k).sent[pid]
+                assert payload[0] == "ESTIMATE"
+                halt = payload[3]
+                assert previous <= halt
+                previous = halt
+
+    def test_crashed_processes_accumulate_in_halt(self):
+        schedule = Schedule.synchronous(
+            5, 2, 12, crashes={4: (1, []), 3: (2, [])}
+        )
+        trace = run_algorithm(ATt2.factory(), schedule, [3, 1, 4, 1, 5])
+        final_halt = trace.record(3).sent[0][3]
+        assert final_halt == frozenset({3, 4})

@@ -1,0 +1,105 @@
+"""Tests for detector histories and the property predicates."""
+
+from repro.detectors.base import DetectorHistory
+
+
+def history(n, horizon, outputs, correct, crash_rounds=None):
+    return DetectorHistory(
+        n=n,
+        horizon=horizon,
+        outputs={k: frozenset(v) for k, v in outputs.items()},
+        correct=frozenset(correct),
+        crash_rounds=crash_rounds or {},
+    )
+
+
+class TestStrongCompleteness:
+    def test_complete_from_round_two(self):
+        h = history(
+            2,
+            3,
+            {
+                (0, 1): set(),
+                (0, 2): {1},
+                (0, 3): {1},
+            },
+            correct={0},
+            crash_rounds={1: 1},
+        )
+        assert h.strong_completeness_round() == 2
+
+    def test_incomplete_when_suspicion_lapses(self):
+        h = history(
+            2,
+            3,
+            {
+                (0, 1): {1},
+                (0, 2): set(),
+                (0, 3): set(),
+            },
+            correct={0},
+            crash_rounds={1: 1},
+        )
+        # The faulty process is never suspected again: no completeness.
+        assert h.strong_completeness_round() is None
+
+    def test_vacuously_complete_without_faults(self):
+        h = history(2, 2, {(0, 1): set(), (1, 1): set(),
+                           (0, 2): set(), (1, 2): set()},
+                    correct={0, 1})
+        assert h.strong_completeness_round() == 1
+
+
+class TestAccuracy:
+    def test_strong_accuracy_holds_without_false_suspicions(self):
+        h = history(
+            2, 2,
+            {(0, 1): set(), (0, 2): {1}},
+            correct={0},
+            crash_rounds={1: 1},
+        )
+        assert h.strong_accuracy_holds()
+
+    def test_strong_accuracy_fails_on_premature_suspicion(self):
+        h = history(
+            2, 2,
+            {(0, 1): {1}, (0, 2): {1}},
+            correct={0},
+            crash_rounds={1: 2},  # suspected in round 1, crashes in 2
+        )
+        assert not h.strong_accuracy_holds()
+        assert h.false_suspicions() == [(0, 1, 1)]
+
+    def test_eventual_strong_accuracy_round(self):
+        h = history(
+            2, 4,
+            {
+                (0, 1): {1}, (1, 1): set(),
+                (0, 2): {1}, (1, 2): set(),
+                (0, 3): set(), (1, 3): set(),
+                (0, 4): set(), (1, 4): set(),
+            },
+            correct={0, 1},
+        )
+        assert h.eventual_strong_accuracy_round() == 3
+
+    def test_eventual_weak_accuracy_some_process_suffices(self):
+        # p1 is suspected forever, p0 never: weak accuracy holds from 1.
+        h = history(
+            3, 2,
+            {
+                (0, 1): {1}, (1, 1): set(), (2, 1): {1},
+                (0, 2): {1}, (1, 2): set(), (2, 2): {1},
+            },
+            correct={0, 1, 2},
+        )
+        assert h.eventual_strong_accuracy_round() is None
+        assert h.eventual_weak_accuracy_round() == 1
+
+    def test_weak_accuracy_fails_when_everyone_suspected_at_horizon(self):
+        h = history(
+            2, 1,
+            {(0, 1): {1}, (1, 1): {0}},
+            correct={0, 1},
+        )
+        assert h.eventual_weak_accuracy_round() is None

@@ -1,0 +1,70 @@
+"""Tests for the P / ◇P / ◇S property bundles and their containments."""
+
+from repro.detectors import (
+    EventuallyPerfect,
+    EventuallyStrong,
+    Perfect,
+    simulate_from_schedule,
+)
+from repro.model.schedule import Schedule, ScheduleBuilder
+
+
+def perfect_history():
+    schedule = Schedule.synchronous(4, 1, 8, crashes={3: (2, [0])})
+    return simulate_from_schedule(schedule)
+
+
+def diamond_p_history():
+    builder = ScheduleBuilder(4, 1, 10)
+    builder.delay(0, 1, 2, 4)  # one false suspicion, then clean
+    builder.crash(3, 5, delivered_to=(0, 1))
+    return simulate_from_schedule(builder.build())
+
+
+def broken_history():
+    """p1 falsely suspects p0 in every round of the window.
+
+    Built with permanent losses on the 0→1 channel — not ES-legal (the
+    detector predicates don't require legality), exactly the kind of
+    history ◇P excludes but ◇S tolerates.
+    """
+    builder = ScheduleBuilder(4, 1, 6)
+    for k in range(1, 7):
+        builder.lose(0, 1, k)
+    return simulate_from_schedule(builder.build())
+
+
+class TestContainments:
+    def test_perfect_implies_diamond_p_and_s(self):
+        history = perfect_history()
+        assert Perfect.satisfied_by(history)
+        assert EventuallyPerfect.satisfied_by(history)
+        assert EventuallyStrong.satisfied_by(history)
+
+    def test_diamond_p_implies_diamond_s(self):
+        history = diamond_p_history()
+        assert not Perfect.satisfied_by(history)
+        assert EventuallyPerfect.satisfied_by(history)
+        assert EventuallyStrong.satisfied_by(history)
+
+    def test_permanent_false_suspicion_breaks_diamond_p(self):
+        history = broken_history()
+        assert not EventuallyPerfect.satisfied_by(history)
+        # ◇S still holds: p0 is the only falsely suspected process, so
+        # accuracy holds for (say) p2.
+        assert EventuallyStrong.satisfied_by(history)
+
+
+class TestViolationMessages:
+    def test_perfect_reports_false_suspicion(self):
+        problems = Perfect.violations(diamond_p_history())
+        assert any("strong accuracy" in p for p in problems)
+
+    def test_diamond_p_reports_accuracy(self):
+        problems = EventuallyPerfect.violations(broken_history())
+        assert any("eventual strong accuracy" in p for p in problems)
+
+    def test_names(self):
+        assert Perfect().name == "P"
+        assert EventuallyPerfect().name == "◇P"
+        assert EventuallyStrong().name == "◇S"

@@ -1,0 +1,130 @@
+"""Failure injection: adversarial scenarios aimed at A_{t+2}'s seams.
+
+Each test targets a specific interaction the correctness proofs rely on:
+the elimination property feeding C's validity, DECIDE flooding under
+crashes and losses, and coordinator failures inside the fallback
+consensus.
+"""
+
+import pytest
+
+from repro import ATt2, ChandraTouegES, HurfinRaynalES
+from repro.analysis.metrics import check_consensus
+from repro.model.schedule import ScheduleBuilder
+from repro.sim.kernel import run_algorithm
+from tests.conftest import run_and_check
+
+
+def mixed_fast_path_builder(horizon=20):
+    """n=3, t=1: p1 decides at t+2; p0 and p2 fall back to C with vc=1.
+
+    Rounds 1-2 hide p0 from everyone (|Halt_0| > t, so p0's new estimate
+    is ⊥); p0's round-3 ⊥ is delayed away from p1, which therefore sees
+    only non-⊥ values and decides at round 3.
+    """
+    builder = ScheduleBuilder(3, 1, horizon)
+    for k in (1, 2):
+        builder.delay(0, 1, k, 3)
+        builder.delay(0, 2, k, 3)
+    builder.delay(0, 1, 3, 5)
+    return builder
+
+
+class TestDeciderCrashes:
+    def test_decider_crashes_before_announcing(self):
+        # p1 decides at round 3 and crashes in round 4 with its DECIDE
+        # lost to everyone: the others must reach p1's value via C alone.
+        builder = mixed_fast_path_builder()
+        builder.crash(1, 4, delivered_to=())
+        trace = run_algorithm(ATt2.factory(), builder.build(), [0, 1, 1])
+        assert trace.decision_round(1) == 3
+        assert trace.decided_values() == {1}
+        assert not check_consensus(trace)
+
+    def test_decider_crashes_mid_announcement(self):
+        # The DECIDE reaches only p0, which relays it to p2.
+        builder = mixed_fast_path_builder()
+        builder.crash(1, 4, delivered_to=(0,))
+        trace = run_algorithm(ATt2.factory(), builder.build(), [0, 1, 1])
+        assert trace.decision_round(0) == 4  # adopted
+        assert trace.decision_round(2) == 5  # via p0's relay
+        assert trace.decided_values() == {1}
+
+    def test_decide_lost_to_one_correct_process(self):
+        # p1 stays alive but its DECIDE to p2 is delayed to the horizon;
+        # p0's relay still delivers the decision promptly.
+        builder = mixed_fast_path_builder()
+        builder.delay(1, 2, 4, 19)
+        trace = run_and_check(ATt2.factory(), builder.build(), [0, 1, 1])
+        assert trace.decision_round(2) == 5
+        assert trace.decided_values() == {1}
+
+
+class TestFallbackUnderCoordinatorCrashes:
+    @pytest.mark.parametrize("underlying", [ChandraTouegES, HurfinRaynalES])
+    def test_first_fallback_coordinator_crashes(self, underlying):
+        # Everybody falls back to C (symmetric ⊥); C's first coordinator
+        # p0 crashes right as the fallback starts.
+        builder = ScheduleBuilder(3, 1, 30)
+        builder.delay(1, 0, 1, 3)
+        builder.delay(2, 1, 1, 3)
+        builder.delay(0, 2, 1, 3)
+        builder.delay(2, 0, 2, 3)
+        builder.delay(0, 1, 2, 3)
+        builder.delay(1, 2, 2, 3)
+        builder.crash(0, 4, delivered_to=())  # round t+3: C's round 1
+        trace = run_and_check(ATt2.factory(underlying), builder.build(),
+                              [4, 5, 6])
+        assert len(trace.decided_values()) == 1
+        assert trace.decided_values() <= {5, 6}
+
+    def test_fallback_value_pinned_by_fast_decider(self):
+        """Lemma 12's quorum argument: C can only decide the fast value."""
+        for crash_round in (4, 5, 6, 7):
+            builder = mixed_fast_path_builder()
+            builder.crash(1, crash_round, delivered_to=())
+            trace = run_algorithm(
+                ATt2.factory(), builder.build(), [0, 1, 1]
+            )
+            assert trace.decided_values() == {1}, crash_round
+
+
+class TestExtremeSystems:
+    def test_minimum_system(self):
+        # n=3, t=1 is the smallest indulgent configuration.
+        from repro.sim.random_schedules import random_es_schedule
+
+        for seed in range(25):
+            schedule = random_es_schedule(3, 1, seed, horizon=24, sync_by=6)
+            trace = run_algorithm(ATt2.factory(), schedule, [2, 0, 1])
+            problems = check_consensus(trace, expect_termination=False)
+            assert not problems, (seed, problems)
+
+    def test_string_proposals(self):
+        # The paper only requires a totally ordered proposal set.
+        from repro import Schedule
+
+        schedule = Schedule.failure_free(3, 1, 8)
+        trace = run_and_check(
+            ATt2.factory(), schedule, ["charlie", "alice", "bob"]
+        )
+        assert trace.decided_values() == {"alice"}
+
+    def test_tuple_proposals_with_process_tags(self):
+        # Footnote in Section 3: values can be tagged with process ids to
+        # induce the total order.
+        from repro import Schedule
+
+        schedule = Schedule.failure_free(3, 1, 8)
+        proposals = [(10, 0), (10, 1), (5, 2)]
+        trace = run_and_check(ATt2.factory(), schedule, proposals)
+        assert trace.decided_values() == {(5, 2)}
+
+    def test_wide_system(self):
+        from repro import Schedule
+        from repro.workloads import serial_cascade
+
+        n, t = 13, 6
+        schedule = serial_cascade(n, t, t + 6)
+        trace = run_and_check(ATt2.factory(), schedule, list(range(n)))
+        assert trace.global_decision_round() == t + 2

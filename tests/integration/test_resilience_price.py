@@ -1,0 +1,62 @@
+"""Integration: the resilience price — t < n/2 is necessary (E10).
+
+Chandra & Toueg showed a majority of correct processes is necessary for
+consensus with unreliable failure detection.  We reproduce the split-brain
+scenario: with t >= n/2 an ES-legal partition keeps two halves mutually
+suspected; each half sees |Halt| <= t (no false-suspicion evidence!) and
+decides its own minimum.
+"""
+
+from repro import ATt2, FloodSet, Schedule
+from repro.analysis.metrics import check_agreement, check_consensus
+from repro.model.es import is_es
+from repro.sim.kernel import run_algorithm
+from repro.workloads import partitioned_prefix
+from tests.conftest import run_and_check
+
+
+class TestSplitBrain:
+    def test_partition_is_es_legal_when_t_is_half(self):
+        schedule = partitioned_prefix(4, 2, 10, rounds=8, heal_at=10)
+        assert is_es(schedule, require_sync_by=None)
+
+    def test_att2_disagrees_with_majority_faults(self):
+        schedule = partitioned_prefix(4, 2, 10, rounds=8, heal_at=10)
+        factory = ATt2.factory(allow_unsafe_resilience=True)
+        trace = run_algorithm(factory, schedule, [0, 0, 1, 1])
+        assert trace.decided_values() == {0, 1}
+        assert check_agreement(trace)
+
+    def test_both_halves_decide_fast(self):
+        # Each half sees a full exchange among n - t processes; |Halt|
+        # never exceeds t, so both decide at t + 2 — confidently wrong.
+        schedule = partitioned_prefix(4, 2, 10, rounds=8, heal_at=10)
+        factory = ATt2.factory(allow_unsafe_resilience=True)
+        trace = run_algorithm(factory, schedule, [0, 0, 1, 1])
+        assert trace.decision_round(0) == 4
+        assert trace.decision_round(2) == 4
+
+    def test_six_processes_three_faults(self):
+        schedule = partitioned_prefix(6, 3, 12, rounds=10, heal_at=12)
+        factory = ATt2.factory(allow_unsafe_resilience=True)
+        trace = run_algorithm(factory, schedule, [0, 0, 0, 1, 1, 1])
+        assert trace.decided_values() == {0, 1}
+
+
+class TestContrastWithSynchronousModel:
+    def test_floodset_tolerates_majority_faults_in_scs(self):
+        """Non-indulgent consensus has no majority requirement."""
+        n, t = 4, 3
+        schedule = Schedule.synchronous(
+            n, t, t + 3,
+            crashes={0: (1, []), 1: (2, []), 2: (3, [])},
+        )
+        trace = run_and_check(FloodSet, schedule, [3, 2, 1, 4])
+        assert trace.global_decision_round() == t + 1
+
+    def test_same_partition_cannot_happen_in_scs(self):
+        # The split-brain schedule is not SCS-legal: SCS has no delays.
+        from repro.model.scs import check_scs
+
+        schedule = partitioned_prefix(4, 2, 10, rounds=8, heal_at=10)
+        assert check_scs(schedule)

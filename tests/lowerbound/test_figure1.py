@@ -1,0 +1,104 @@
+"""Tests for the Figure-1 five-run gadget (Claim 5.1)."""
+
+import pytest
+
+from repro import ADiamondS, ATt2, ChandraTouegES, HurfinRaynalES
+from repro.lowerbound.figure1 import (
+    FigureOneConfig,
+    build_figure_one,
+    canonical_config,
+)
+from repro.model.es import check_es
+
+
+class TestCanonicalConfig:
+    def test_t1_shape(self):
+        config = canonical_config(4, 1)
+        assert config.p_one == 0
+        assert config.p_i_plus_1 == 1
+        assert config.suspects == frozenset({1, 2, 3})
+        assert config.prefix == {}
+
+    def test_t2_value_hiding_prefix(self):
+        config = canonical_config(5, 2)
+        assert config.p_one == 1
+        assert config.prefix == {0: (1, (1,))}
+        assert config.suspects == frozenset({2, 3, 4})
+
+    def test_rejects_bad_resilience(self):
+        with pytest.raises(ValueError):
+            canonical_config(4, 2)
+
+
+class TestGadgetClaims:
+    @pytest.mark.parametrize(
+        "factory_name,factory",
+        [
+            ("att2", ATt2.factory()),
+            ("adiamond_s", ADiamondS.factory()),
+            ("hurfin_raynal", HurfinRaynalES),
+            ("chandra_toueg", ChandraTouegES),
+        ],
+    )
+    @pytest.mark.parametrize("n,t", [(3, 1), (4, 1), (5, 2)])
+    def test_all_claims_hold(self, factory_name, factory, n, t):
+        report = build_figure_one(factory, n=n, t=t)
+        assert report.claim_a1_s1, (factory_name, n, t)
+        assert report.claim_a0_s0, (factory_name, n, t)
+        assert report.claim_common, (factory_name, n, t)
+        assert not report.determinism_issues, (factory_name, n, t)
+
+    def test_synchronous_runs_diverge_in_canonical_config(self):
+        """s1 and s0 decide differently: the gadget sits on real bivalence."""
+        report = build_figure_one(ATt2.factory(), n=5, t=2)
+        s1 = report.traces["s1"].decided_values()
+        s0 = report.traces["s0"].decided_values()
+        assert s1 == {1}
+        assert s0 == {0}
+
+    def test_asynchronous_runs_agree_among_observers(self):
+        report = build_figure_one(ATt2.factory(), n=4, t=1)
+        values = {
+            name: report.traces[name].decided_values()
+            for name in ("a2", "a1", "a0")
+        }
+        assert values["a2"] == values["a1"] == values["a0"]
+
+    def test_gadget_schedules_are_es_legal(self):
+        report = build_figure_one(ATt2.factory(), n=4, t=1)
+        for name, trace in report.traces.items():
+            violations = check_es(trace.schedule, require_sync_by=None)
+            assert not violations, (name, violations)
+
+    def test_pivot_never_decides_in_a1_a0(self):
+        # The pivot crashes at t+2 without deciding (A_{t+2} decides no
+        # earlier than t+2) — exactly how a t+2 algorithm escapes the trap.
+        report = build_figure_one(ATt2.factory(), n=4, t=1)
+        pivot = report.config.p_i_plus_1
+        assert report.traces["a1"].decision_round(pivot) is None
+        assert report.traces["a0"].decision_round(pivot) is None
+
+    def test_decision_table_lists_all_runs(self):
+        report = build_figure_one(ATt2.factory(), n=3, t=1)
+        assert [row[0] for row in report.decision_table()] == [
+            "s1", "s0", "a2", "a1", "a0",
+        ]
+
+
+class TestCustomConfig:
+    def test_explicit_config(self):
+        config = FigureOneConfig(
+            n=4,
+            t=1,
+            proposals=(0, 1, 1, 1),
+            p_one=0,
+            p_i_plus_1=2,
+            suspects=frozenset({1, 2}),
+            prefix={},
+        )
+        report = build_figure_one(ATt2.factory(), config)
+        assert report.all_claims_hold
+
+    def test_requires_config_or_sizes(self):
+        with pytest.raises(ValueError, match="config"):
+            build_figure_one(ATt2.factory())

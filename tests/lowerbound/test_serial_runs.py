@@ -1,0 +1,60 @@
+"""Tests for serial-run enumeration."""
+
+from repro import FloodSet
+from repro.lowerbound.serial_runs import (
+    CrashEvent,
+    enumerate_serial_partial_runs,
+    one_round_options,
+    schedule_from_events,
+    worst_case_serial,
+)
+
+
+class TestOneRoundOptions:
+    def test_includes_no_crash(self):
+        options = list(one_round_options(3, 1, (), 1))
+        assert () in options
+
+    def test_counts_for_n3_t1(self):
+        # no-crash + 3 crashers x 2^2 delivery subsets = 13.
+        assert len(list(one_round_options(3, 1, (), 1))) == 13
+
+    def test_budget_exhausted_gives_only_no_crash(self):
+        events = (CrashEvent(round=1, pid=0, delivered_to=frozenset()),)
+        assert list(one_round_options(3, 1, events, 2)) == [events]
+
+    def test_crashed_process_not_a_receiver(self):
+        events = (CrashEvent(round=1, pid=0, delivered_to=frozenset()),)
+        for option in one_round_options(3, 2, events, 2):
+            for event in option:
+                assert 0 not in event.delivered_to or event.pid != 0
+                if event.round == 2:
+                    assert 0 not in event.delivered_to
+
+
+class TestEnumeration:
+    def test_run_count_n3_t1_two_rounds(self):
+        # Round 1: 13 options; options with a crash allow only the
+        # no-crash continuation (budget 1); the no-crash branch re-opens
+        # 13 options in round 2: 12 + 13 = 25.
+        runs = list(enumerate_serial_partial_runs(3, 1, 2))
+        assert len(runs) == 25
+
+    def test_all_enumerated_runs_are_serial(self):
+        for events in enumerate_serial_partial_runs(3, 1, 3):
+            schedule = schedule_from_events(3, 1, events, 5)
+            assert schedule.is_serial_run()
+
+    def test_unique(self):
+        runs = list(enumerate_serial_partial_runs(4, 1, 2))
+        assert len(runs) == len(set(runs))
+
+
+class TestWorstCase:
+    def test_floodset_is_flat_at_t_plus_1(self):
+        worst, worst_events, best, _ = worst_case_serial(
+            FloodSet, [0, 1, 2], t=1, crash_rounds_limit=2, horizon=5
+        )
+        assert worst == best == 2
+        # The witness is still reported.
+        assert isinstance(worst_events, tuple)

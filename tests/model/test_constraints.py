@@ -1,0 +1,46 @@
+"""Tests for shared constraint helpers: same-round senders and suspicion."""
+
+from repro.model.constraints import same_round_senders, suspected_by
+from repro.model.schedule import Schedule, ScheduleBuilder
+
+
+class TestSameRoundSenders:
+    def test_failure_free_everyone_heard(self):
+        schedule = Schedule.failure_free(4, 1, 5)
+        assert same_round_senders(schedule, 0, 1) == frozenset({0, 1, 2, 3})
+
+    def test_crashed_sender_missing(self):
+        schedule = Schedule.synchronous(4, 1, 5, crashes={2: (1, [])})
+        assert same_round_senders(schedule, 0, 1) == frozenset({0, 1, 3})
+
+    def test_partial_crash_delivery(self):
+        schedule = Schedule.synchronous(4, 1, 5, crashes={2: (1, [0])})
+        assert 2 in same_round_senders(schedule, 0, 1)
+        assert 2 not in same_round_senders(schedule, 1, 1)
+
+    def test_delay_removes_sender(self):
+        builder = ScheduleBuilder(4, 1, 5)
+        builder.delay(3, 0, 2, 4)
+        schedule = builder.build()
+        assert 3 not in same_round_senders(schedule, 0, 2)
+        assert 3 in same_round_senders(schedule, 0, 3)
+
+
+class TestSuspectedBy:
+    def test_suspicion_matches_paper_definition(self):
+        builder = ScheduleBuilder(4, 1, 5)
+        builder.delay(3, 0, 2, 4)
+        schedule = builder.build()
+        # p0 suspects p3 in round 2 (message delayed = false suspicion).
+        assert suspected_by(schedule, 0, 2) == frozenset({3})
+        assert suspected_by(schedule, 0, 3) == frozenset()
+
+    def test_crash_causes_accurate_suspicion(self):
+        schedule = Schedule.synchronous(4, 1, 5, crashes={1: (2, [])})
+        assert suspected_by(schedule, 0, 2) == frozenset({1})
+        assert suspected_by(schedule, 0, 3) == frozenset({1})
+
+    def test_no_self_suspicion(self):
+        schedule = Schedule.failure_free(4, 1, 5)
+        for pid in range(4):
+            assert pid not in suspected_by(schedule, pid, 1)

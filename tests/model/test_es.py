@@ -1,0 +1,109 @@
+"""Tests for the ES validator: t-resilience, reliable channels, synchrony."""
+
+import pytest
+
+from repro.errors import ModelViolation
+from repro.model.es import check_es, enforce_es, is_es
+from repro.model.schedule import Schedule, ScheduleBuilder
+
+
+class TestTResilience:
+    def test_failure_free_ok(self):
+        assert is_es(Schedule.failure_free(4, 1, 6))
+
+    def test_synchronous_crashes_ok(self):
+        schedule = Schedule.synchronous(5, 2, 8,
+                                        crashes={0: (1, []), 1: (4, [2])})
+        assert is_es(schedule)
+
+    def test_too_many_delays_break_resilience(self):
+        # n=3, t=1: each process must hear from 2 processes per round.
+        # Delaying both peers' messages to p0 leaves it with only itself.
+        builder = ScheduleBuilder(3, 1, 6)
+        builder.delay(1, 0, 1, 2)
+        builder.delay(2, 0, 1, 2)
+        violations = check_es(builder.build())
+        assert any("t-resilience" in v for v in violations)
+
+    def test_single_delay_keeps_resilience(self):
+        builder = ScheduleBuilder(3, 1, 6)
+        builder.delay(1, 0, 1, 2)
+        assert is_es(builder.build())
+
+    def test_crash_with_no_delivery_counts_against_quota(self):
+        # n=3, t=1: p2 crashes in round 1 delivering to nobody; p0 and p1
+        # still hear 2 processes (self + the other), so ES holds.
+        schedule = Schedule.synchronous(3, 1, 6, crashes={2: (1, [])})
+        assert is_es(schedule)
+
+
+class TestReliableChannels:
+    def test_correct_to_correct_loss_is_violation(self):
+        builder = ScheduleBuilder(4, 1, 6)
+        builder.lose(0, 1, 2)
+        violations = check_es(builder.build())
+        assert any("reliable channels" in v for v in violations)
+
+    def test_loss_from_faulty_sender_ok(self):
+        builder = ScheduleBuilder(4, 1, 6)
+        builder.crash(0, 3)
+        builder.lose(0, 1, 2)
+        assert is_es(builder.build())
+
+
+class TestEventualSynchrony:
+    def test_crash_round_loss_in_final_round_is_legal(self):
+        # p3 crashes in round 4; losing its crash-round message does not
+        # break the synchrony of round 4.
+        builder = ScheduleBuilder(4, 1, 4)
+        builder.crash(3, 4, delivered_to=(0, 2))
+        assert is_es(builder.build())
+
+    def test_delay_leaves_synchronous_suffix(self):
+        # A delay in round 4 of a 5-round horizon still leaves round 5
+        # synchronous, so the default eventual-synchrony check passes.
+        builder = ScheduleBuilder(4, 1, 5)
+        builder.delay(0, 1, 4, 5)
+        assert builder.build().sync_from() == 5
+        assert is_es(builder.build())
+
+    def test_loss_in_final_round_denies_synchronous_suffix(self):
+        # A lost message from a non-crashing sender in the final round
+        # makes that round asynchronous: no synchronous suffix exists
+        # within the horizon (and reliable channels break too).
+        builder = ScheduleBuilder(4, 1, 5)
+        builder.lose(0, 1, 5)
+        violations = check_es(builder.build())
+        assert any("eventual synchrony" in v for v in violations)
+        assert any("reliable channels" in v for v in violations)
+        # Disabling the synchrony requirement leaves only the channel issue.
+        relaxed = check_es(builder.build(), require_sync_by=None)
+        assert not any("eventual synchrony" in v for v in relaxed)
+
+    def test_sync_by_bound(self):
+        builder = ScheduleBuilder(4, 1, 10)
+        builder.delay(0, 1, 3, 4)
+        schedule = builder.build()
+        assert schedule.sync_from() == 4
+        assert is_es(schedule, require_sync_by=4)
+        violations = check_es(schedule, require_sync_by=3)
+        assert any("eventual synchrony" in v for v in violations)
+
+
+class TestEnforce:
+    def test_enforce_raises_with_details(self):
+        builder = ScheduleBuilder(4, 1, 6)
+        builder.lose(0, 1, 2)
+        with pytest.raises(ModelViolation, match="reliable channels"):
+            enforce_es(builder.build())
+
+    def test_enforce_passes_through(self):
+        schedule = Schedule.failure_free(4, 1, 6)
+        assert enforce_es(schedule) is schedule
+
+    def test_crash_overload_is_violation(self):
+        schedule = Schedule.synchronous(
+            4, 1, 6, crashes={0: (1, []), 1: (2, [])}
+        )
+        violations = check_es(schedule)
+        assert any("exceed the resilience" in v for v in violations)

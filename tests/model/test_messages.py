@@ -1,0 +1,41 @@
+"""Tests for messages: ordering, hashing, tags."""
+
+import pytest
+
+from repro.model.messages import DUMMY, Message, sort_delivery
+
+
+class TestMessage:
+    def test_tag_of_tuple_payload(self):
+        m = Message(sent_round=1, sender=0, receiver=1,
+                    payload=("ESTIMATE", 1, 5, frozenset()))
+        assert m.tag == "ESTIMATE"
+
+    def test_tag_of_scalar_payload(self):
+        m = Message(sent_round=1, sender=0, receiver=1, payload=42)
+        assert m.tag == 42
+
+    def test_rejects_unhashable_payload(self):
+        with pytest.raises(TypeError):
+            Message(sent_round=1, sender=0, receiver=1, payload=["list"])
+
+    def test_ordering_by_round_then_sender(self):
+        early = Message(sent_round=1, sender=2, receiver=0, payload=("A",))
+        late = Message(sent_round=2, sender=0, receiver=0, payload=("B",))
+        peer = Message(sent_round=1, sender=1, receiver=0, payload=("C",))
+        assert sort_delivery([late, early, peer]) == (peer, early, late)
+
+    def test_payload_not_compared(self):
+        a = Message(sent_round=1, sender=0, receiver=1, payload=("X",))
+        b = Message(sent_round=1, sender=0, receiver=1, payload=("Y",))
+        assert not a < b and not b < a
+
+    def test_repr_is_compact(self):
+        m = Message(sent_round=3, sender=1, receiver=2, payload=("T",))
+        assert "r3 1->2" in repr(m)
+
+
+class TestDummy:
+    def test_dummy_is_tagged_tuple(self):
+        assert DUMMY == ("DUMMY",)
+        hash(DUMMY)

@@ -1,0 +1,243 @@
+"""Tests for schedules: construction, delivery semantics, classification."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.model.schedule import CrashSpec, Schedule, ScheduleBuilder
+
+
+class TestCrashSpec:
+    def test_rejects_round_zero(self):
+        with pytest.raises(ScheduleError, match="crash round"):
+            CrashSpec(round=0)
+
+    def test_rejects_overlapping_delivery_and_delay(self):
+        with pytest.raises(ScheduleError, match="same-round and delayed"):
+            CrashSpec(
+                round=2,
+                delivered_same_round=frozenset({1}),
+                delayed=((1, 4),),
+            )
+
+    def test_rejects_delay_before_crash_round(self):
+        with pytest.raises(ScheduleError, match="must exceed crash"):
+            CrashSpec(round=3, delayed=((1, 3),))
+
+    def test_rejects_duplicate_delayed_receiver(self):
+        with pytest.raises(ScheduleError, match="duplicate receiver"):
+            CrashSpec(round=1, delayed=((1, 2), (1, 3)))
+
+    def test_delayed_delivery_lookup(self):
+        spec = CrashSpec(round=1, delayed=((2, 4),))
+        assert spec.delayed_delivery(2) == 4
+        assert spec.delayed_delivery(1) is None
+
+
+class TestScheduleBuilder:
+    def test_rejects_bad_pid(self):
+        builder = ScheduleBuilder(3, 1, 5)
+        with pytest.raises(ScheduleError, match="out of range"):
+            builder.crash(3, 1)
+
+    def test_rejects_double_crash(self):
+        builder = ScheduleBuilder(3, 1, 5)
+        builder.crash(0, 1)
+        with pytest.raises(ScheduleError, match="already crashes"):
+            builder.crash(0, 2)
+
+    def test_rejects_self_delay(self):
+        builder = ScheduleBuilder(3, 1, 5)
+        with pytest.raises(ScheduleError, match="self-delivery"):
+            builder.delay(1, 1, 1, 2)
+
+    def test_rejects_delay_not_after_send(self):
+        builder = ScheduleBuilder(3, 1, 5)
+        with pytest.raises(ScheduleError, match="must exceed"):
+            builder.delay(0, 1, 2, 2)
+
+    def test_rejects_delay_beyond_horizon(self):
+        builder = ScheduleBuilder(3, 1, 5)
+        with pytest.raises(ScheduleError, match="exceeds horizon"):
+            builder.delay(0, 1, 1, 6)
+
+    def test_rejects_delay_and_loss_conflict(self):
+        builder = ScheduleBuilder(3, 1, 5)
+        builder.delay(0, 1, 1, 2)
+        with pytest.raises(ScheduleError, match="already delayed"):
+            builder.lose(0, 1, 1)
+
+    def test_rejects_loss_then_delay_conflict(self):
+        builder = ScheduleBuilder(3, 1, 5)
+        builder.lose(0, 1, 1)
+        with pytest.raises(ScheduleError, match="already lost"):
+            builder.delay(0, 1, 1, 2)
+
+    def test_rejects_delays_from_crashed_sender(self):
+        builder = ScheduleBuilder(3, 1, 5)
+        builder.crash(0, 1)
+        builder.delay(0, 1, 2, 3)
+        with pytest.raises(ScheduleError, match="crashes in round"):
+            builder.build()
+
+    def test_rejects_crash_after_horizon(self):
+        builder = ScheduleBuilder(3, 1, 5)
+        builder.crash(0, 6)
+        with pytest.raises(ScheduleError, match="after the horizon"):
+            builder.build()
+
+    def test_self_delivered_to_is_dropped(self):
+        builder = ScheduleBuilder(3, 1, 5)
+        builder.crash(0, 1, delivered_to=(0, 1))
+        schedule = builder.build()
+        assert schedule.crashes[0].delivered_same_round == frozenset({1})
+
+
+class TestDeliverySemantics:
+    def test_default_same_round(self):
+        schedule = Schedule.failure_free(3, 1, 5)
+        assert schedule.delivery_round(0, 1, 2) == 2
+
+    def test_self_delivery_immediate(self):
+        schedule = Schedule.failure_free(3, 1, 5)
+        assert schedule.delivery_round(1, 1, 3) == 3
+
+    def test_crashed_sender_sends_nothing_later(self):
+        schedule = Schedule.synchronous(3, 1, 5, crashes={0: (2, [1])})
+        assert schedule.delivery_round(0, 1, 3) is None
+        assert schedule.delivery_round(0, 0, 3) is None
+
+    def test_crash_round_partial_delivery(self):
+        schedule = Schedule.synchronous(3, 1, 5, crashes={0: (2, [1])})
+        assert schedule.delivery_round(0, 1, 2) == 2
+        assert schedule.delivery_round(0, 2, 2) is None
+
+    def test_crash_round_delayed_delivery(self):
+        builder = ScheduleBuilder(3, 1, 5)
+        builder.crash(0, 2, delivered_to=(1,), delayed={2: 4})
+        schedule = builder.build()
+        assert schedule.delivery_round(0, 2, 2) == 4
+
+    def test_explicit_delay(self):
+        builder = ScheduleBuilder(3, 1, 5)
+        builder.delay(0, 1, 1, 3)
+        schedule = builder.build()
+        assert schedule.delivery_round(0, 1, 1) == 3
+        assert schedule.delivery_round(0, 2, 1) == 1
+
+    def test_explicit_loss(self):
+        builder = ScheduleBuilder(3, 1, 5)
+        builder.crash(0, 3)
+        builder.lose(0, 1, 1)
+        schedule = builder.build()
+        assert schedule.delivery_round(0, 1, 1) is None
+
+    def test_deliveries_to_collects_delayed(self):
+        builder = ScheduleBuilder(3, 1, 5)
+        builder.delay(0, 1, 1, 3)
+        schedule = builder.build()
+        arrivals = schedule.deliveries_to(1, 3)
+        assert (0, 1) in arrivals
+        assert (0, 3) in arrivals  # the round-3 message itself
+
+
+class TestLifecyclePredicates:
+    def test_sends_and_completes(self):
+        schedule = Schedule.synchronous(3, 1, 6, crashes={1: (3, [])})
+        assert schedule.sends_in_round(1, 3)
+        assert not schedule.completes_round(1, 3)
+        assert schedule.completes_round(1, 2)
+        assert not schedule.sends_in_round(1, 4)
+
+    def test_correct_and_faulty(self):
+        schedule = Schedule.synchronous(4, 1, 6, crashes={2: (1, [])})
+        assert schedule.faulty == frozenset({2})
+        assert schedule.correct == frozenset({0, 1, 3})
+
+    def test_crashed_in(self):
+        schedule = Schedule.synchronous(4, 2, 6,
+                                        crashes={2: (1, []), 3: (1, [])})
+        assert schedule.crashed_in(1) == frozenset({2, 3})
+        assert schedule.crashed_in(2) == frozenset()
+
+
+class TestSynchronyClassification:
+    def test_failure_free_is_synchronous(self):
+        schedule = Schedule.failure_free(4, 1, 6)
+        assert schedule.is_synchronous_run()
+        assert schedule.sync_from() == 1
+
+    def test_crashes_do_not_break_synchrony(self):
+        schedule = Schedule.synchronous(4, 2, 6,
+                                        crashes={0: (1, [1]), 1: (3, [])})
+        assert schedule.is_synchronous_run()
+
+    def test_delay_breaks_synchrony(self):
+        builder = ScheduleBuilder(4, 1, 6)
+        builder.delay(0, 1, 2, 4)
+        schedule = builder.build()
+        assert not schedule.is_synchronous_run()
+        assert not schedule.is_synchronous_round(2)
+        assert schedule.sync_from() == 3
+
+    def test_crash_round_delay_keeps_round_synchronous(self):
+        # Footnote 5: crash-round messages may be delayed even in
+        # synchronous runs.
+        builder = ScheduleBuilder(4, 1, 6)
+        builder.crash(0, 2, delivered_to=(1,), delayed={2: 4})
+        schedule = builder.build()
+        assert schedule.is_synchronous_round(2)
+        assert schedule.is_synchronous_run()
+
+    def test_loss_breaks_synchrony(self):
+        builder = ScheduleBuilder(4, 1, 6)
+        builder.lose(0, 1, 3)
+        schedule = builder.build()
+        assert not schedule.is_synchronous_round(3)
+        assert schedule.sync_from() == 4
+
+    def test_serial_run(self):
+        schedule = Schedule.synchronous(5, 2, 6,
+                                        crashes={0: (1, []), 1: (2, [])})
+        assert schedule.is_serial_run()
+
+    def test_two_crashes_same_round_not_serial(self):
+        schedule = Schedule.synchronous(5, 2, 6,
+                                        crashes={0: (1, []), 1: (1, [])})
+        assert schedule.is_synchronous_run()
+        assert not schedule.is_serial_run()
+
+    def test_too_many_crashes_not_serial(self):
+        schedule = Schedule.synchronous(5, 1, 6,
+                                        crashes={0: (1, []), 1: (2, [])})
+        assert not schedule.is_serial_run()
+
+
+class TestScheduleIdentity:
+    def test_equality_and_hash(self):
+        a = Schedule.synchronous(3, 1, 5, crashes={0: (1, [1])})
+        b = Schedule.synchronous(3, 1, 5, crashes={0: (1, [1])})
+        c = Schedule.synchronous(3, 1, 5, crashes={0: (1, [2])})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_with_horizon_extends(self):
+        a = Schedule.synchronous(3, 1, 5, crashes={0: (1, [1])})
+        b = a.with_horizon(9)
+        assert b.horizon == 9
+        assert b.crashes == a.crashes
+
+    def test_with_horizon_cannot_cut_deliveries(self):
+        builder = ScheduleBuilder(3, 1, 8)
+        builder.delay(0, 1, 1, 7)
+        schedule = builder.build()
+        with pytest.raises(ScheduleError, match="shrink"):
+            schedule.with_horizon(5)
+
+    def test_describe_mentions_crashes_and_delays(self):
+        builder = ScheduleBuilder(3, 1, 8)
+        builder.crash(0, 2, delivered_to=(1,))
+        builder.delay(1, 2, 1, 3)
+        text = builder.build().describe()
+        assert "p0 crashes in round 2" in text
+        assert "delay" in text

@@ -1,0 +1,63 @@
+"""Tests for the SCS validator."""
+
+import pytest
+
+from repro.errors import ModelViolation
+from repro.model.schedule import Schedule, ScheduleBuilder
+from repro.model.scs import check_scs, enforce_scs, is_scs
+
+
+class TestCheckSCS:
+    def test_failure_free_is_scs(self):
+        assert is_scs(Schedule.failure_free(4, 1, 6))
+
+    def test_partial_crash_delivery_is_scs(self):
+        schedule = Schedule.synchronous(4, 2, 6,
+                                        crashes={0: (1, [1]), 3: (1, [])})
+        assert is_scs(schedule)
+
+    def test_delay_is_not_scs(self):
+        builder = ScheduleBuilder(4, 1, 6)
+        builder.delay(0, 1, 1, 2)
+        violations = check_scs(builder.build())
+        assert any("forbids delayed" in v for v in violations)
+
+    def test_crash_round_delay_is_not_scs(self):
+        builder = ScheduleBuilder(4, 1, 6)
+        builder.crash(0, 1, delayed={1: 3})
+        violations = check_scs(builder.build())
+        assert any("delaying crash-round" in v for v in violations)
+
+    def test_loss_from_live_sender_is_not_scs(self):
+        builder = ScheduleBuilder(4, 1, 6)
+        builder.lose(0, 1, 2)
+        violations = check_scs(builder.build())
+        assert any("crash round" in v for v in violations)
+
+    def test_explicit_loss_in_crash_round_is_rejected_by_builder(self):
+        # Crash-round losses are expressed by the CrashSpec (receivers not
+        # listed lose the message); an explicit .lose() is redundant and
+        # the builder rejects it.
+        from repro.errors import ScheduleError
+
+        builder = ScheduleBuilder(4, 1, 6)
+        builder.crash(0, 2, delivered_to=(1,))
+        builder.lose(0, 2, 2)
+        with pytest.raises(ScheduleError, match="implied or impossible"):
+            builder.build()
+
+    def test_too_many_crashes(self):
+        schedule = Schedule.synchronous(4, 1, 6,
+                                        crashes={0: (1, []), 1: (2, [])})
+        violations = check_scs(schedule)
+        assert any("exceed" in v for v in violations)
+
+    def test_enforce_raises(self):
+        builder = ScheduleBuilder(4, 1, 6)
+        builder.delay(0, 1, 1, 2)
+        with pytest.raises(ModelViolation, match="SCS"):
+            enforce_scs(builder.build())
+
+    def test_enforce_returns_schedule(self):
+        schedule = Schedule.failure_free(4, 1, 6)
+        assert enforce_scs(schedule) is schedule

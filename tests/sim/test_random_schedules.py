@@ -1,0 +1,79 @@
+"""Tests for random schedule generators: legality and determinism."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.es import check_es
+from repro.model.scs import check_scs
+from repro.sim.random_schedules import (
+    random_es_schedule,
+    random_proposals,
+    random_scs_schedule,
+    random_serial_schedule,
+)
+
+SYSTEM_SIZES = st.sampled_from([(3, 1), (4, 1), (5, 2), (7, 3), (9, 4)])
+
+
+class TestRandomES:
+    @given(seed=st.integers(0, 10_000), size=SYSTEM_SIZES)
+    @settings(max_examples=60, deadline=None)
+    def test_always_es_legal(self, seed, size):
+        n, t = size
+        schedule = random_es_schedule(n, t, seed)
+        assert check_es(schedule) == []
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_in_seed(self, seed):
+        a = random_es_schedule(5, 2, seed)
+        b = random_es_schedule(5, 2, seed)
+        assert a == b
+
+    def test_different_seeds_differ_somewhere(self):
+        schedules = {random_es_schedule(5, 2, seed) for seed in range(30)}
+        assert len(schedules) > 1
+
+    @given(seed=st.integers(0, 2_000))
+    @settings(max_examples=30, deadline=None)
+    def test_sync_by_respected(self, seed):
+        schedule = random_es_schedule(6, 2, seed, horizon=12, sync_by=5)
+        assert schedule.sync_from() <= 5
+
+    def test_max_crashes_zero(self):
+        schedule = random_es_schedule(5, 2, 7, max_crashes=0)
+        assert not schedule.crashes
+
+
+class TestRandomSCS:
+    @given(seed=st.integers(0, 10_000), size=SYSTEM_SIZES)
+    @settings(max_examples=60, deadline=None)
+    def test_always_scs_legal(self, seed, size):
+        n, t = size
+        schedule = random_scs_schedule(n, t, seed)
+        assert check_scs(schedule) == []
+
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_scs_is_synchronous(self, seed):
+        schedule = random_scs_schedule(5, 2, seed)
+        assert schedule.is_synchronous_run()
+
+
+class TestRandomSerial:
+    @given(seed=st.integers(0, 10_000), size=SYSTEM_SIZES)
+    @settings(max_examples=60, deadline=None)
+    def test_always_serial(self, seed, size):
+        n, t = size
+        schedule = random_serial_schedule(n, t, seed)
+        assert schedule.is_serial_run()
+
+
+class TestRandomProposals:
+    def test_deterministic(self):
+        assert random_proposals(6, 3) == random_proposals(6, 3)
+
+    def test_length_and_range(self):
+        values = random_proposals(8, 11, pool=3)
+        assert len(values) == 8
+        assert all(0 <= v < 3 for v in values)

@@ -1,0 +1,71 @@
+"""Tests for schedule serialization and trace replay."""
+
+import json
+
+import pytest
+
+from repro import ATt2, Schedule
+from repro.errors import SimulationError
+from repro.model.schedule import ScheduleBuilder
+from repro.sim.kernel import run_algorithm
+from repro.sim.random_schedules import random_es_schedule
+from repro.sim.replay import (
+    replay,
+    roundtrip,
+    schedule_from_data,
+    schedule_to_data,
+)
+
+
+def rich_schedule():
+    builder = ScheduleBuilder(5, 2, 14)
+    builder.crash(0, 2, delivered_to=(1,), delayed={2: 4})
+    builder.crash(4, 5, delivered_to=(1, 2, 3))
+    builder.delay(1, 2, 1, 3)
+    builder.lose(0, 3, 1)
+    return builder.build()
+
+
+class TestSerialization:
+    def test_roundtrip_identity(self):
+        schedule = rich_schedule()
+        assert roundtrip(schedule) == schedule
+
+    def test_json_safe(self):
+        data = schedule_to_data(rich_schedule())
+        rebuilt = schedule_from_data(json.loads(json.dumps(data)))
+        assert rebuilt == rich_schedule()
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_schedules_roundtrip(self, seed):
+        schedule = random_es_schedule(6, 2, seed, horizon=12)
+        assert roundtrip(schedule) == schedule
+
+    def test_version_checked(self):
+        data = schedule_to_data(rich_schedule())
+        data["version"] = 99
+        with pytest.raises(SimulationError, match="version"):
+            schedule_from_data(data)
+
+    def test_failure_free_minimal(self):
+        schedule = Schedule.failure_free(3, 1, 5)
+        data = schedule_to_data(schedule)
+        assert data["crashes"] == []
+        assert data["delays"] == []
+        assert schedule_from_data(data) == schedule
+
+
+class TestReplay:
+    def test_replay_matches(self):
+        schedule = rich_schedule()
+        trace = run_algorithm(ATt2.factory(), schedule, [3, 1, 4, 1, 5])
+        fresh = replay(trace, ATt2.factory())
+        assert dict(fresh.decisions) == dict(trace.decisions)
+
+    def test_replay_detects_wrong_algorithm(self):
+        from repro import HurfinRaynalES
+
+        schedule = rich_schedule()
+        trace = run_algorithm(ATt2.factory(), schedule, [3, 1, 4, 1, 5])
+        with pytest.raises(SimulationError, match="diverged"):
+            replay(trace, HurfinRaynalES)

@@ -1,0 +1,52 @@
+"""Tests for remaining trace accessors."""
+
+from repro import ATt2, Schedule
+from repro.sim.kernel import run_algorithm
+
+
+def crashy_trace():
+    schedule = Schedule.synchronous(
+        5, 2, 12, crashes={4: (1, [0]), 3: (3, [])}
+    )
+    return run_algorithm(ATt2.factory(), schedule, [3, 1, 4, 1, 5])
+
+
+class TestAccessors:
+    def test_crash_rounds(self):
+        trace = crashy_trace()
+        assert trace.crash_rounds() == {4: 1, 3: 3}
+
+    def test_alive_at_end(self):
+        trace = crashy_trace()
+        assert trace.alive_at_end() == frozenset({0, 1, 2})
+
+    def test_record_is_one_based(self):
+        trace = crashy_trace()
+        assert trace.record(1).round == 1
+        assert trace.record(trace.rounds_executed).round == (
+            trace.rounds_executed
+        )
+
+    def test_n_and_t_mirror_schedule(self):
+        trace = crashy_trace()
+        assert trace.n == 5
+        assert trace.t == 2
+
+    def test_message_count_equals_iter_length(self):
+        trace = crashy_trace()
+        assert trace.message_count() == sum(
+            1 for _ in trace.iter_messages()
+        )
+
+    def test_undelivered_schedule_entries_absent_from_views(self):
+        # p4 crashed in round 1 delivering only to p0: only p0's and p4's
+        # views contain p4's round-1 message.
+        trace = crashy_trace()
+        received_from_4 = {
+            pid
+            for pid in range(5)
+            for k in range(1, trace.rounds_executed + 1)
+            for m in (trace.record(k).delivered.get(pid) or ())
+            if m.sender == 4
+        }
+        assert received_from_4 == {0}

@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AlgorithmError,
+    ConsensusViolation,
+    ModelViolation,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ScheduleError,
+            ModelViolation,
+            SimulationError,
+            AlgorithmError,
+            ConsensusViolation,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_repro_error_is_an_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_catching_the_base_catches_library_failures(self):
+        from repro.model.schedule import ScheduleBuilder
+
+        try:
+            ScheduleBuilder(3, 1, 5).delay(0, 0, 1, 2)
+        except ReproError as error:
+            assert "self-delivery" in str(error)
+        else:
+            pytest.fail("expected a ReproError")

@@ -1,0 +1,82 @@
+"""Tests for repro.types: the BOTTOM sentinel and parameter validators."""
+
+import pickle
+
+import pytest
+
+from repro.types import (
+    BOTTOM,
+    _Bottom,
+    is_bottom,
+    validate_indulgent_resilience,
+    validate_system_size,
+)
+
+
+class TestBottom:
+    def test_singleton(self):
+        assert _Bottom() is BOTTOM
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "⊥"
+
+    def test_is_bottom(self):
+        assert is_bottom(BOTTOM)
+
+    def test_values_are_not_bottom(self):
+        assert not is_bottom(None)
+        assert not is_bottom(0)
+        assert not is_bottom("⊥")
+
+    def test_hashable(self):
+        assert {BOTTOM: 1}[BOTTOM] == 1
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+
+    def test_equality_is_identity(self):
+        assert BOTTOM == BOTTOM
+        assert BOTTOM != 0
+
+
+class TestValidateSystemSize:
+    def test_accepts_minimal_system(self):
+        validate_system_size(1, 0)
+
+    def test_accepts_typical_system(self):
+        validate_system_size(5, 2)
+
+    def test_rejects_negative_t(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_system_size(3, -1)
+
+    def test_rejects_t_equal_n(self):
+        with pytest.raises(ValueError, match="smaller than n"):
+            validate_system_size(3, 3)
+
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ValueError, match="at least one"):
+            validate_system_size(0, 0)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            validate_system_size(3.0, 1)
+
+
+class TestValidateIndulgentResilience:
+    def test_accepts_minority_faults(self):
+        validate_indulgent_resilience(3, 1)
+        validate_indulgent_resilience(5, 2)
+        validate_indulgent_resilience(9, 4)
+
+    def test_rejects_t_zero(self):
+        with pytest.raises(ValueError, match="t = 0"):
+            validate_indulgent_resilience(3, 0)
+
+    def test_rejects_exact_half(self):
+        with pytest.raises(ValueError, match="t < n/2"):
+            validate_indulgent_resilience(4, 2)
+
+    def test_rejects_majority_faults(self):
+        with pytest.raises(ValueError, match="t < n/2"):
+            validate_indulgent_resilience(5, 3)

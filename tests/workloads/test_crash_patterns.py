@@ -1,0 +1,79 @@
+"""Tests for crash-pattern workload generators."""
+
+import pytest
+
+from repro.model.es import is_es
+from repro.model.scs import is_scs
+from repro.workloads.crash_patterns import (
+    block_crashes,
+    coordinator_killer,
+    serial_cascade,
+    value_hiding_chain,
+)
+
+
+class TestSerialCascade:
+    def test_default_crashes_last_t_processes(self):
+        schedule = serial_cascade(5, 2, 8)
+        assert set(schedule.crashes) == {4, 3}
+        assert schedule.crashes[4].round == 1
+        assert schedule.crashes[3].round == 2
+
+    def test_is_serial_and_scs(self):
+        schedule = serial_cascade(5, 2, 8)
+        assert schedule.is_serial_run()
+        assert is_scs(schedule)
+        assert is_es(schedule)
+
+    def test_deliver_to_next(self):
+        schedule = serial_cascade(
+            5, 2, 8, crashers=(0, 1), deliver_to_next=True
+        )
+        assert schedule.crashes[0].delivered_same_round == frozenset({1})
+        assert schedule.crashes[1].delivered_same_round == frozenset()
+
+    def test_too_many_crashers_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            serial_cascade(5, 1, 8, crashers=(0, 1))
+
+
+class TestValueHidingChain:
+    def test_chain_structure(self):
+        schedule = value_hiding_chain(5, 3, 8)
+        for index in range(3):
+            spec = schedule.crashes[index]
+            assert spec.round == index + 1
+            assert spec.delivered_same_round == frozenset({index + 1})
+
+    def test_is_serial(self):
+        assert value_hiding_chain(5, 3, 8).is_serial_run()
+
+
+class TestBlockCrashes:
+    def test_all_in_one_round(self):
+        schedule = block_crashes(6, 2, 8)
+        assert {spec.round for spec in schedule.crashes.values()} == {1}
+        assert len(schedule.crashes) == 2
+
+    def test_synchronous_but_not_serial(self):
+        schedule = block_crashes(6, 2, 8)
+        assert schedule.is_synchronous_run()
+        assert not schedule.is_serial_run()
+
+    def test_count_capped(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            block_crashes(6, 2, 8, count=3)
+
+
+class TestCoordinatorKiller:
+    def test_kills_first_round_of_each_cycle(self):
+        schedule = coordinator_killer(5, 2, 10, rounds_per_cycle=2)
+        assert schedule.crashes[0].round == 1
+        assert schedule.crashes[1].round == 3
+
+    def test_three_round_cycles(self):
+        schedule = coordinator_killer(7, 3, 12, rounds_per_cycle=3)
+        assert schedule.crashes[2].round == 7
+
+    def test_is_serial(self):
+        assert coordinator_killer(5, 2, 10, rounds_per_cycle=2).is_serial_run()

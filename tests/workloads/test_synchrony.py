@@ -1,0 +1,79 @@
+"""Tests for eventually-synchronous workload generators."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.model.es import check_es, is_es
+from repro.workloads.synchrony import (
+    async_prefix,
+    partitioned_prefix,
+    rotating_delays,
+)
+
+
+class TestRotatingDelays:
+    def test_victims_rotate(self):
+        schedule = rotating_delays(4, 1, 10, async_rounds=3)
+        assert (0, 1, 1) in schedule.delays
+        assert (1, 0, 2) in schedule.delays
+        assert (2, 0, 3) in schedule.delays
+
+    def test_es_legal(self):
+        schedule = rotating_delays(5, 2, 12, async_rounds=6)
+        assert check_es(schedule) == []
+
+    def test_sync_from_after_prefix(self):
+        schedule = rotating_delays(5, 2, 12, async_rounds=4)
+        assert schedule.sync_from() == 5
+
+    def test_not_synchronous_run(self):
+        assert not rotating_delays(4, 1, 8, async_rounds=2).is_synchronous_run()
+
+
+class TestAsyncPrefix:
+    def test_crashes_placed_after_prefix(self):
+        schedule = async_prefix(6, 2, 14, k=3, crashes_after=2)
+        assert schedule.crashes[5].round == 4
+        assert schedule.crashes[4].round == 5
+
+    def test_es_legal(self):
+        schedule = async_prefix(6, 2, 14, k=3, crashes_after=2)
+        assert check_es(schedule) == []
+
+    def test_sync_after_k(self):
+        schedule = async_prefix(6, 2, 14, k=3)
+        assert schedule.sync_from() == 4
+
+    def test_zero_prefix_is_synchronous(self):
+        schedule = async_prefix(6, 2, 14, k=0, crashes_after=1)
+        assert schedule.is_synchronous_run()
+
+    def test_crash_budget_enforced(self):
+        with pytest.raises(ScheduleError, match="exceeds"):
+            async_prefix(6, 2, 14, k=1, crashes_after=3)
+
+
+class TestPartitionedPrefix:
+    def test_requires_majority_faults(self):
+        with pytest.raises(ScheduleError, match="t >= n/2"):
+            partitioned_prefix(4, 1, 10, rounds=4)
+
+    def test_partition_is_es_legal_with_large_t(self):
+        schedule = partitioned_prefix(4, 2, 10, rounds=6, heal_at=8)
+        assert is_es(schedule)
+
+    def test_cross_group_messages_delayed(self):
+        schedule = partitioned_prefix(4, 2, 10, rounds=2, heal_at=5)
+        assert schedule.delays[(0, 2, 1)] == 5
+        assert schedule.delays[(2, 0, 1)] == 5
+        assert (0, 1, 1) not in schedule.delays
+
+    def test_custom_groups_must_partition(self):
+        with pytest.raises(ScheduleError, match="partition"):
+            partitioned_prefix(
+                4, 2, 10, rounds=2, groups=((0, 1), (1, 2, 3))
+            )
+
+    def test_heal_capped_at_horizon(self):
+        schedule = partitioned_prefix(4, 2, 6, rounds=5)
+        assert max(schedule.delays.values()) <= 6
