@@ -3,13 +3,15 @@
 On coordinator-killing synchronous runs, A_◇S reaches a global decision at
 round t + 2 for every t, while the Hurfin–Raynal-style algorithm — the
 most efficient previously-known indulgent consensus — needs 2t + 2.  The
-gap grows linearly in t, as the paper reports.
+gap grows linearly in t, as the paper reports.  The head-to-head grid runs
+as one engine batch.
 """
 
-from repro import ADiamondS, HurfinRaynalES
-from repro.analysis.sweep import run_case
+import pytest
+
 from repro.analysis.tables import format_table
 from repro.detectors import EventuallyStrong, simulate_from_schedule
+from repro.engine import cases_from, run_batch
 from repro.workloads import coordinator_killer
 
 from conftest import emit
@@ -18,26 +20,24 @@ RESILIENCES = [1, 2, 3, 4]
 
 
 def head_to_head():
+    systems = [(2 * t + 1, t) for t in RESILIENCES]
+    result = run_batch(cases_from(
+        (algorithm, f"killer/t{t}",
+         coordinator_killer(n, t, 2 * t + 6, rounds_per_cycle=2), range(n))
+        for n, t in systems
+        for algorithm in ("adiamond_s", "hurfin_raynal")
+    ))
     rows = []
-    for t in RESILIENCES:
-        n = 2 * t + 1
-        schedule = coordinator_killer(
-            n, t, 2 * t + 6, rounds_per_cycle=2
-        )
-        asd, _ = run_case(
-            "adiamond_s", ADiamondS.factory(), "killer", schedule,
-            list(range(n)),
-        )
-        hr, _ = run_case(
-            "hurfin_raynal", HurfinRaynalES, "killer", schedule,
-            list(range(n)),
-        )
+    for n, t in systems:
+        asd = result.find("adiamond_s", f"killer/t{t}")
+        hr = result.find("hurfin_raynal", f"killer/t{t}")
         rows.append(
             (n, t, asd.global_round, t + 2, hr.global_round, 2 * t + 2)
         )
     return rows
 
 
+@pytest.mark.smoke
 def test_adiamond_s_vs_hurfin_raynal(benchmark):
     rows = benchmark(head_to_head)
     emit(

@@ -5,42 +5,51 @@ identical schedules: A_{f+2} globally decides by round k + f + 2 (Lemma
 15); the two-step leader-based AMR needs up to k + 2f + 2 (footnote 10).
 Absolute rounds depend on the workload's kindness — the asserted shape is
 the paper's *guarantee* (upper bounds) plus the A_{f+2} <= AMR ordering.
+
+The (k, f) × algorithm sweep and the Lemma-16 randomized termination
+check both execute as engine batches; the latter draws its schedule
+family from the seeded grid layer.
 """
 
-from repro import AFPlus2, AMRLeaderES
-from repro.analysis.sweep import run_case
+import pytest
+
 from repro.analysis.tables import format_table
+from repro.engine import cases_from, family, run_batch
+from repro.engine.grids import expand_family
+from repro.sim.random_schedules import random_proposals
 from repro.workloads import async_prefix
 
 from conftest import emit
 
 N, T = 7, 2
+POINTS = [(k, f) for k in (0, 2, 4) for f in (0, 1, 2)]
 
 
 def eventual_fast_rows():
+    result = run_batch(cases_from(
+        (algorithm, f"k{k}f{f}",
+         async_prefix(N, T, k + f + 10, k=k, crashes_after=f), range(N))
+        for k, f in POINTS
+        for algorithm in ("afp2", "amr_leader")
+    ))
     rows = []
-    for k in (0, 2, 4):
-        for f in (0, 1, 2):
-            schedule = async_prefix(N, T, k + f + 10, k=k, crashes_after=f)
-            afp2, _ = run_case(
-                "afp2", AFPlus2, f"k{k}f{f}", schedule, list(range(N))
+    for k, f in POINTS:
+        afp2 = result.find("afp2", f"k{k}f{f}")
+        amr = result.find("amr_leader", f"k{k}f{f}")
+        rows.append(
+            (
+                k,
+                f,
+                afp2.global_round,
+                k + f + 2,
+                amr.global_round,
+                k + 2 * f + 2,
             )
-            amr, _ = run_case(
-                "amr", AMRLeaderES, f"k{k}f{f}", schedule, list(range(N))
-            )
-            rows.append(
-                (
-                    k,
-                    f,
-                    afp2.global_round,
-                    k + f + 2,
-                    amr.global_round,
-                    k + 2 * f + 2,
-                )
-            )
+        )
     return rows
 
 
+@pytest.mark.smoke
 def test_eventual_fast_decision(benchmark):
     rows = benchmark(eventual_fast_rows)
     emit(
@@ -60,14 +69,15 @@ def test_crash_heavy_synchronous_tail(benchmark):
     """f = t crashes right after the prefix: the bound still holds."""
 
     def run():
-        rows = []
-        for k in (0, 3):
-            schedule = async_prefix(N, T, k + T + 10, k=k, crashes_after=T)
-            afp2, _ = run_case(
-                "afp2", AFPlus2, f"k{k}", schedule, list(range(N))
-            )
-            rows.append((k, T, afp2.global_round, k + T + 2))
-        return rows
+        result = run_batch(cases_from(
+            ("afp2", f"k{k}",
+             async_prefix(N, T, k + T + 10, k=k, crashes_after=T), range(N))
+            for k in (0, 3)
+        ))
+        return [
+            (k, T, result.find("afp2", f"k{k}").global_round, k + T + 2)
+            for k in (0, 3)
+        ]
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     for k, f, got, bound in rows:
@@ -77,20 +87,22 @@ def test_crash_heavy_synchronous_tail(benchmark):
 
 def test_termination_from_any_prefix(benchmark):
     """Lemma 16: every run decides once synchrony arrives (k + t + 2)."""
-    from repro.analysis.metrics import check_consensus
-    from repro.sim.kernel import run_algorithm
-    from repro.sim.random_schedules import random_es_schedule, random_proposals
 
-    def sampled(seeds=range(60)):
-        bad = []
-        for seed in seeds:
-            schedule = random_es_schedule(N, T, seed, horizon=22, sync_by=8)
-            trace = run_algorithm(
-                AFPlus2, schedule, random_proposals(N, seed)
-            )
-            if check_consensus(trace, expect_termination=True):
-                bad.append(seed)
-        return bad
+    def sampled(samples=60):
+        instances = expand_family(
+            family("es", "random_es", count=samples, horizon=22, sync_by=8),
+            N, T, master_seed=0,
+        )
+        result = run_batch(cases_from(
+            ("afp2", label, schedule, random_proposals(N, i))
+            for i, (label, schedule) in enumerate(instances)
+        ))
+        return [
+            record.workload
+            for record in result.records
+            if not (record.agreement_ok and record.validity_ok)
+            or record.correct_undecided
+        ]
 
     bad = benchmark.pedantic(sampled, rounds=1, iterations=1)
     assert not bad

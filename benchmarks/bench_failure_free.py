@@ -4,11 +4,18 @@ In every failure-free synchronous run, the optimized A_{t+2} reaches a
 global decision at round 2 — matching the two-round lower bound for
 well-behaved runs (Keidar & Rajsbaum) — while remaining t + 2 when
 failures or suspicions appear.
+
+Both the per-system comparison grid and the randomized serial-run safety
+sample execute as engine batches; the safety sample draws its schedules
+from the seeded ``random_serial`` family.
 """
 
-from repro import ATt2, ATt2Optimized, Schedule
-from repro.analysis.sweep import run_case
+import pytest
+
+from repro import Schedule
 from repro.analysis.tables import format_table
+from repro.engine import cases_from, family, run_batch
+from repro.engine.grids import expand_family
 from repro.workloads import serial_cascade
 
 from conftest import emit
@@ -17,32 +24,30 @@ SYSTEMS = [(3, 1), (5, 2), (7, 3), (9, 4)]
 
 
 def optimization_rows():
+    def entries():
+        for n, t in SYSTEMS:
+            ff = Schedule.failure_free(n, t, t + 6)
+            crashy = serial_cascade(n, t, t + 6)
+            yield ("att2", f"ff/n{n}", ff, range(n))
+            yield ("att2_optimized", f"ff/n{n}", ff, range(n))
+            yield ("att2_optimized", f"cascade/n{n}", crashy, range(n))
+
+    result = run_batch(cases_from(entries()))
     rows = []
     for n, t in SYSTEMS:
-        ff = Schedule.failure_free(n, t, t + 6)
-        crashy = serial_cascade(n, t, t + 6)
-        plain_ff, _ = run_case(
-            "att2", ATt2.factory(), "ff", ff, list(range(n))
-        )
-        opt_ff, _ = run_case(
-            "att2_opt", ATt2Optimized.factory(), "ff", ff, list(range(n))
-        )
-        opt_crashy, _ = run_case(
-            "att2_opt", ATt2Optimized.factory(), "cascade", crashy,
-            list(range(n)),
-        )
         rows.append(
             (
                 n,
                 t,
-                plain_ff.global_round,
-                opt_ff.global_round,
-                opt_crashy.global_round,
+                result.find("att2", f"ff/n{n}").global_round,
+                result.find("att2_optimized", f"ff/n{n}").global_round,
+                result.find("att2_optimized", f"cascade/n{n}").global_round,
             )
         )
     return rows
 
 
+@pytest.mark.smoke
 def test_failure_free_optimization(benchmark):
     rows = benchmark(optimization_rows)
     emit(
@@ -62,20 +67,22 @@ def test_failure_free_optimization(benchmark):
 
 def test_optimization_never_violates_safety(benchmark):
     """Sampled serial runs: the fast path must never break agreement."""
-    from repro.analysis.metrics import check_consensus
-    from repro.sim.kernel import run_algorithm
-    from repro.sim.random_schedules import random_serial_schedule
 
-    def sampled(seeds=range(150)):
-        bad = []
-        for seed in seeds:
-            schedule = random_serial_schedule(5, 2, seed, horizon=10)
-            trace = run_algorithm(
-                ATt2Optimized.factory(), schedule, [3, 1, 4, 1, 5]
-            )
-            if check_consensus(trace):
-                bad.append(seed)
-        return bad
+    def sampled(samples=150):
+        instances = expand_family(
+            family("serial", "random_serial", count=samples, horizon=10),
+            5, 2, master_seed=0,
+        )
+        result = run_batch(cases_from(
+            ("att2_optimized", label, schedule, (3, 1, 4, 1, 5))
+            for label, schedule in instances
+        ))
+        return [
+            record.workload
+            for record in result.records
+            if not (record.agreement_ok and record.validity_ok)
+            or record.correct_undecided
+        ]
 
     bad = benchmark.pedantic(sampled, rounds=1, iterations=1)
     assert not bad

@@ -9,25 +9,30 @@ global decision round over synchronous runs, per algorithm and model.
     Hurfin-Raynal (ES/◇S) : 2t + 2  — previously best indulgent algorithm
     Chandra-Toueg (ES/◇S) : 3t + 3  — classic rotating coordinator
 
-The price of indulgence is exactly one round.
+The price of indulgence is exactly one round.  The (algorithm × workload)
+grid is executed as one batch on the engine; worst cases and witnesses
+come from the aggregated :class:`~repro.engine.results.BatchResult`.
 """
 
-from repro import (
-    ADiamondS,
-    ATt2,
-    ChandraTouegES,
-    FloodSet,
-    HurfinRaynalES,
-    Schedule,
-)
-from repro.analysis.sweep import worst_case_round
+import pytest
+
+from repro import Schedule
 from repro.analysis.tables import format_table
+from repro.engine import cases_from, run_batch
 from repro.workloads import coordinator_killer, serial_cascade, value_hiding_chain
 
 from conftest import emit
 
 N, T = 5, 2
 HORIZON = 24
+
+ALGORITHMS = [
+    ("floodset", "FloodSet (SCS)", T + 1),
+    ("att2", "A_t+2 (ES)", T + 2),
+    ("adiamond_s", "A_dS (ES)", T + 2),
+    ("hurfin_raynal", "Hurfin-Raynal (ES)", 2 * T + 2),
+    ("chandra_toueg", "Chandra-Toueg (ES)", 3 * T + 3),
+]
 
 
 def synchronous_workloads():
@@ -41,23 +46,19 @@ def synchronous_workloads():
 
 
 def price_table():
-    proposals = list(range(N))
-    algorithms = [
-        ("FloodSet (SCS)", FloodSet, T + 1),
-        ("A_t+2 (ES)", ATt2.factory(), T + 2),
-        ("A_dS (ES)", ADiamondS.factory(), T + 2),
-        ("Hurfin-Raynal (ES)", HurfinRaynalES, 2 * T + 2),
-        ("Chandra-Toueg (ES)", ChandraTouegES, 3 * T + 3),
-    ]
+    result = run_batch(cases_from(
+        (name, workload, schedule, range(N))
+        for name, _label, _expected in ALGORITHMS
+        for workload, schedule in synchronous_workloads()
+    ))
     rows = []
-    for name, factory, expected in algorithms:
-        worst, witness = worst_case_round(
-            factory, synchronous_workloads(), proposals
-        )
-        rows.append((name, worst, expected, witness))
+    for name, label, expected in ALGORITHMS:
+        worst, witness = result.worst_case(name)
+        rows.append((label, worst, expected, witness))
     return rows
 
 
+@pytest.mark.smoke
 def test_price_of_indulgence(benchmark):
     rows = benchmark(price_table)
     emit(

@@ -22,7 +22,10 @@ This package provides:
   and bivalency computation, the Figure-1 five-run construction
   (:mod:`repro.lowerbound`);
 * workload generators and analysis utilities (:mod:`repro.workloads`,
-  :mod:`repro.analysis`).
+  :mod:`repro.analysis`);
+* a batch execution engine — declarative case grids, seeded schedule
+  families, parallel execution with serial-identical output
+  (:mod:`repro.engine`, ``python -m repro sweep``).
 
 Quickstart::
 
@@ -52,6 +55,13 @@ from repro.errors import (
     ScheduleError,
     SimulationError,
 )
+from repro.engine import (
+    BatchResult,
+    Case,
+    GridSpec,
+    expand_grid,
+    run_batch,
+)
 from repro.model import CrashSpec, Message, Schedule, ScheduleBuilder
 from repro.model.es import check_es, enforce_es, is_es
 from repro.model.scs import check_scs, enforce_scs, is_scs
@@ -72,6 +82,8 @@ __all__ = [
     "check_es", "enforce_es", "is_es", "check_scs", "enforce_scs", "is_scs",
     # simulation
     "execute", "run_algorithm", "Trace", "RoundRecord",
+    # batch engine
+    "BatchResult", "Case", "GridSpec", "expand_grid", "run_batch",
     # values
     "BOTTOM", "is_bottom",
     # errors

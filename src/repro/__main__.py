@@ -1,7 +1,13 @@
-"""Entry point for ``python -m repro``."""
+"""Entry point for ``python -m repro``.
+
+The ``__main__`` guard matters here: the batch engine's worker pool may
+use the ``spawn`` start method on platforms without ``fork``, and spawned
+workers re-import ``__main__`` — which must not re-run the CLI.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

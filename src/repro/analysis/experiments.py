@@ -6,25 +6,38 @@ lightweight row-generators for the table-shaped experiments so that the
 CLI (``python -m repro experiments``) and the report example can print
 them without depending on the bench files.
 
+The grid-shaped experiments (E5–E8) build declarative case lists and
+execute them on the batch engine (:mod:`repro.engine`); the experiments
+that inspect traces or detector histories directly (E10, E11) run on the
+kernel as before.
+
 Every function returns ``(title, headers, rows)`` ready for
 :func:`repro.analysis.tables.format_table`.
 """
 
 from __future__ import annotations
 
-from repro.analysis.sweep import run_case, worst_case_round
+from typing import Iterable, Sequence
+
 from repro.model.schedule import Schedule
 from repro.sim.kernel import run_algorithm
 
 Table = tuple[str, list[str], list[tuple]]
 
 
+def _batch(
+    entries: Iterable[tuple[str, str, Schedule, Sequence[int]]],
+    *,
+    workers: int = 1,
+):
+    """Run ``(algorithm, workload, schedule, proposals)`` entries as a batch."""
+    from repro.engine import cases_from, run_batch
+
+    return run_batch(cases_from(entries), workers=workers)
+
+
 def price_of_indulgence(n: int = 5, t: int = 2) -> Table:
     """E5: worst-case synchronous decision rounds, per algorithm."""
-    from repro.algorithms.chandra_toueg import ChandraTouegES
-    from repro.algorithms.floodset import FloodSet
-    from repro.algorithms.hurfin_raynal import HurfinRaynalES
-    from repro.core.att2 import ATt2
     from repro.workloads import (
         coordinator_killer,
         serial_cascade,
@@ -38,15 +51,21 @@ def price_of_indulgence(n: int = 5, t: int = 2) -> Table:
         ("killer2", coordinator_killer(n, t, 24, rounds_per_cycle=2)),
         ("killer3", coordinator_killer(n, t, 24, rounds_per_cycle=3)),
     ]
+    algorithms = [
+        ("floodset", "FloodSet (SCS)", t + 1),
+        ("att2", "A_t+2 (ES)", t + 2),
+        ("hurfin_raynal", "Hurfin-Raynal (ES)", 2 * t + 2),
+        ("chandra_toueg", "Chandra-Toueg (ES)", 3 * t + 3),
+    ]
+    result = _batch(
+        (name, workload, schedule, range(n))
+        for name, _label, _paper in algorithms
+        for workload, schedule in workloads
+    )
     rows = []
-    for name, factory, paper in (
-        ("FloodSet (SCS)", FloodSet, t + 1),
-        ("A_t+2 (ES)", ATt2.factory(), t + 2),
-        ("Hurfin-Raynal (ES)", HurfinRaynalES, 2 * t + 2),
-        ("Chandra-Toueg (ES)", ChandraTouegES, 3 * t + 3),
-    ):
-        worst, witness = worst_case_round(factory, workloads, list(range(n)))
-        rows.append((name, worst, paper, witness))
+    for name, label, paper in algorithms:
+        worst, witness = result.worst_case(name)
+        rows.append((label, worst, paper, witness))
     return (
         f"E5: the price of indulgence (n={n}, t={t})",
         ["algorithm", "worst sync round", "paper", "witness"],
@@ -56,18 +75,19 @@ def price_of_indulgence(n: int = 5, t: int = 2) -> Table:
 
 def diamond_s_gap(resiliences: tuple[int, ...] = (1, 2, 3)) -> Table:
     """E6: A_◇S (t+2) vs Hurfin–Raynal (2t+2) on coordinator killers."""
-    from repro.algorithms.hurfin_raynal import HurfinRaynalES
-    from repro.core.adiamond_s import ADiamondS
     from repro.workloads import coordinator_killer
 
+    systems = [(2 * t + 1, t) for t in resiliences]
+    result = _batch(
+        (algorithm, f"killer/t{t}",
+         coordinator_killer(n, t, 2 * t + 6, rounds_per_cycle=2), range(n))
+        for n, t in systems
+        for algorithm in ("adiamond_s", "hurfin_raynal")
+    )
     rows = []
-    for t in resiliences:
-        n = 2 * t + 1
-        schedule = coordinator_killer(n, t, 2 * t + 6, rounds_per_cycle=2)
-        asd, _ = run_case("a", ADiamondS.factory(), "k", schedule,
-                          list(range(n)))
-        hr, _ = run_case("h", HurfinRaynalES, "k", schedule,
-                         list(range(n)))
+    for n, t in systems:
+        asd = result.find("adiamond_s", f"killer/t{t}")
+        hr = result.find("hurfin_raynal", f"killer/t{t}")
         rows.append((n, t, asd.global_round, t + 2,
                      hr.global_round, 2 * t + 2))
     return (
@@ -81,19 +101,22 @@ def failure_free_optimization(
     systems: tuple[tuple[int, int], ...] = ((3, 1), (5, 2), (7, 3)),
 ) -> Table:
     """E7: the Figure-4 optimization decides at round 2 failure-free."""
-    from repro.core.att2 import ATt2
-    from repro.core.att2_optimized import ATt2Optimized
     from repro.workloads import serial_cascade
 
+    def entries():
+        for n, t in systems:
+            ff = Schedule.failure_free(n, t, t + 6)
+            crashy = serial_cascade(n, t, t + 6)
+            yield ("att2", f"ff/n{n}", ff, range(n))
+            yield ("att2_optimized", f"ff/n{n}", ff, range(n))
+            yield ("att2_optimized", f"cascade/n{n}", crashy, range(n))
+
+    result = _batch(entries())
     rows = []
     for n, t in systems:
-        ff = Schedule.failure_free(n, t, t + 6)
-        crashy = serial_cascade(n, t, t + 6)
-        plain, _ = run_case("p", ATt2.factory(), "ff", ff, list(range(n)))
-        opt, _ = run_case("o", ATt2Optimized.factory(), "ff", ff,
-                          list(range(n)))
-        opt_crashy, _ = run_case("o", ATt2Optimized.factory(), "c",
-                                 crashy, list(range(n)))
+        plain = result.find("att2", f"ff/n{n}")
+        opt = result.find("att2_optimized", f"ff/n{n}")
+        opt_crashy = result.find("att2_optimized", f"cascade/n{n}")
         rows.append((n, t, plain.global_round, opt.global_round,
                      opt_crashy.global_round))
     return (
@@ -105,19 +128,21 @@ def failure_free_optimization(
 
 def eventual_fast_decision(n: int = 7, t: int = 2) -> Table:
     """E8: A_{f+2} vs AMR on sync-after-k runs with f late crashes."""
-    from repro.algorithms.amr_leader import AMRLeaderES
-    from repro.core.afp2 import AFPlus2
     from repro.workloads import async_prefix
 
+    points = [(k, f) for k in (0, 2, 4) for f in (0, 1, 2)]
+    result = _batch(
+        (algorithm, f"k{k}f{f}",
+         async_prefix(n, t, k + f + 10, k=k, crashes_after=f), range(n))
+        for k, f in points
+        for algorithm in ("afp2", "amr_leader")
+    )
     rows = []
-    for k in (0, 2, 4):
-        for f in (0, 1, 2):
-            schedule = async_prefix(n, t, k + f + 10, k=k, crashes_after=f)
-            afp2, _ = run_case("a", AFPlus2, "w", schedule, list(range(n)))
-            amr, _ = run_case("m", AMRLeaderES, "w", schedule,
-                              list(range(n)))
-            rows.append((k, f, afp2.global_round, k + f + 2,
-                         amr.global_round, k + 2 * f + 2))
+    for k, f in points:
+        afp2 = result.find("afp2", f"k{k}f{f}")
+        amr = result.find("amr_leader", f"k{k}f{f}")
+        rows.append((k, f, afp2.global_round, k + f + 2,
+                     amr.global_round, k + 2 * f + 2))
     return (
         f"E8: eventual fast decision (n={n}, t={t})",
         ["k", "f", "A_f+2", "bound k+f+2", "AMR", "bound k+2f+2"],

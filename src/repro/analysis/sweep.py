@@ -1,4 +1,12 @@
-"""Parameter sweeps: run (algorithm × workload) grids and collect records."""
+"""Parameter sweeps: run (algorithm × workload) grids and collect records.
+
+:class:`SweepRecord` and :func:`run_case` are the measurement primitives
+of the whole analysis stack; the grid entry points (:func:`sweep`,
+:func:`worst_case_round`) delegate execution to the batch engine
+(:mod:`repro.engine`), which also powers ``python -m repro sweep`` and
+the benches — these wrappers remain for call sites that already hold
+factories and schedules in hand.
+"""
 
 from __future__ import annotations
 
@@ -29,6 +37,8 @@ class SweepRecord:
     agreement_ok: bool
     validity_ok: bool
     messages: int
+    horizon: Round = 0
+    correct_undecided: int = 0
 
     def row(self) -> tuple:
         return (
@@ -71,8 +81,31 @@ def run_case(
         agreement_ok=not check_agreement(trace),
         validity_ok=not check_validity(trace),
         messages=trace.message_count(),
+        horizon=schedule.horizon,
+        correct_undecided=sum(
+            1 for pid in schedule.correct if pid not in trace.decisions
+        ),
     )
     return record, trace
+
+
+def _as_cases(
+    cases: Iterable[tuple[str, AlgorithmFactory, str, Schedule, Sequence[Value]]],
+):
+    from repro.engine.cases import Case
+
+    return [
+        Case(
+            index=i,
+            algorithm=algorithm,
+            workload=workload,
+            schedule=schedule,
+            proposals=tuple(proposals),
+            factory=factory,
+        )
+        for i, (algorithm, factory, workload, schedule, proposals)
+        in enumerate(cases)
+    ]
 
 
 def sweep(
@@ -80,11 +113,10 @@ def sweep(
         tuple[str, AlgorithmFactory, str, Schedule, Sequence[Value]]
     ],
 ) -> list[SweepRecord]:
-    """Run every case and return the records."""
-    return [
-        run_case(algorithm, factory, workload, schedule, proposals)[0]
-        for algorithm, factory, workload, schedule, proposals in cases
-    ]
+    """Run every case on the engine and return the records in input order."""
+    from repro.engine.runner import run_cases
+
+    return run_cases(_as_cases(cases))
 
 
 def worst_case_round(
@@ -97,13 +129,12 @@ def worst_case_round(
     Schedules on which the run does not decide within the horizon count as
     ``horizon + 1`` (a conservative lower estimate of the true round).
     """
-    worst: Round = 0
-    witness = "<none>"
-    for name, schedule in schedules:
-        trace = run_algorithm(factory, schedule, proposals)
-        global_round = trace.global_decision_round()
-        if global_round is None:
-            global_round = schedule.horizon + 1
-        if global_round > worst:
-            worst, witness = global_round, name
-    return worst, witness
+    from repro.engine.results import BatchResult
+    from repro.engine.runner import run_cases
+
+    cases = _as_cases(
+        ("<worst-case>", factory, name, schedule, proposals)
+        for name, schedule in schedules
+    )
+    result = BatchResult(records=tuple(run_cases(cases)))
+    return result.worst_case("<worst-case>")

@@ -1,0 +1,49 @@
+"""The batch execution engine.
+
+Declarative case grids (:mod:`repro.engine.grids`), expanded into concrete
+:class:`~repro.engine.cases.Case` lists and executed — serially or across
+a ``multiprocessing`` worker pool — by :mod:`repro.engine.runner`, with
+records aggregated into :class:`~repro.engine.results.BatchResult`.
+Parallel and serial execution of the same grid produce identical record
+sequences; see the runner module docstring for the determinism contract.
+"""
+
+from repro.engine.cases import Case, cases_from
+from repro.engine.grids import (
+    DEFAULT_SWEEP_ALGORITHMS,
+    FamilySpec,
+    GridError,
+    GridSpec,
+    case_seed,
+    default_sweep_grid,
+    expand_family,
+    expand_grid,
+    family,
+)
+from repro.engine.results import AlgorithmSummary, BatchResult
+from repro.engine.runner import (
+    execute_case,
+    resolve_workers,
+    run_batch,
+    run_cases,
+)
+
+__all__ = [
+    "Case",
+    "FamilySpec",
+    "GridSpec",
+    "GridError",
+    "AlgorithmSummary",
+    "BatchResult",
+    "DEFAULT_SWEEP_ALGORITHMS",
+    "case_seed",
+    "cases_from",
+    "default_sweep_grid",
+    "expand_family",
+    "expand_grid",
+    "family",
+    "execute_case",
+    "resolve_workers",
+    "run_batch",
+    "run_cases",
+]

@@ -1,0 +1,179 @@
+"""Aggregated results of a batch execution.
+
+A :class:`BatchResult` holds the full, canonically-ordered record stream
+of one batch plus derived per-algorithm summaries: worst-case global
+decision round with its witness workload (the paper's headline statistic),
+safety-violation counts, and message totals.  ``to_json`` serializes the
+whole result — records included — so sweeps can be archived and diffed;
+two executions of the same grid are expected to produce byte-identical
+JSON regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, Mapping
+
+from repro.analysis.sweep import SweepRecord
+from repro.types import Round
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class AlgorithmSummary:
+    """Per-algorithm aggregate over one batch.
+
+    ``worst_round`` follows the convention of
+    :func:`repro.analysis.sweep.worst_case_round`: a case that does not
+    reach a global decision within its horizon counts as ``horizon + 1``,
+    a conservative lower estimate of the true round.
+    """
+
+    algorithm: str
+    cases: int
+    decided: int
+    violations: int
+    worst_round: Round
+    worst_workload: str
+    messages: int
+
+    ROW_HEADERS = (
+        "algorithm", "cases", "decided", "violations",
+        "worst round", "witness workload", "messages",
+    )
+
+    def row(self) -> tuple:
+        return (
+            self.algorithm,
+            self.cases,
+            self.decided,
+            self.violations,
+            self.worst_round,
+            self.worst_workload,
+            self.messages,
+        )
+
+
+def _effective_round(record: SweepRecord) -> Round:
+    return (
+        record.global_round
+        if record.global_round is not None
+        else record.horizon + 1
+    )
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """The complete outcome of one batch execution.
+
+    ``records`` are in canonical case order (sorted by ``Case.index`` at
+    collection time), independent of how many workers executed the batch.
+    """
+
+    records: tuple[SweepRecord, ...]
+
+    @property
+    def case_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def algorithms(self) -> tuple[str, ...]:
+        """Algorithm names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.algorithm, None)
+        return tuple(seen)
+
+    def for_algorithm(self, algorithm: str) -> tuple[SweepRecord, ...]:
+        return tuple(r for r in self.records if r.algorithm == algorithm)
+
+    def find(self, algorithm: str, workload: str) -> SweepRecord:
+        """The unique record for (algorithm, workload); raises if absent."""
+        for record in self.records:
+            if record.algorithm == algorithm and record.workload == workload:
+                return record
+        raise KeyError(f"no record for ({algorithm!r}, {workload!r})")
+
+    def violations(self) -> tuple[SweepRecord, ...]:
+        """Records that broke agreement or validity."""
+        return tuple(
+            r for r in self.records
+            if not (r.agreement_ok and r.validity_ok)
+        )
+
+    def worst_case(self, algorithm: str) -> tuple[Round, str]:
+        """Worst global decision round for *algorithm*, with its witness.
+
+        Ties keep the earliest record, matching the serial search in
+        :func:`repro.analysis.sweep.worst_case_round`; undecided cases
+        count as ``horizon + 1``.
+        """
+        worst: Round = 0
+        witness = "<none>"
+        for record in self.for_algorithm(algorithm):
+            effective = _effective_round(record)
+            if effective > worst:
+                worst, witness = effective, record.workload
+        return worst, witness
+
+    def summary(self, algorithm: str) -> AlgorithmSummary:
+        records = self.for_algorithm(algorithm)
+        worst, witness = self.worst_case(algorithm)
+        return AlgorithmSummary(
+            algorithm=algorithm,
+            cases=len(records),
+            decided=sum(1 for r in records if r.global_round is not None),
+            violations=sum(
+                1 for r in records if not (r.agreement_ok and r.validity_ok)
+            ),
+            worst_round=worst,
+            worst_workload=witness,
+            messages=sum(r.messages for r in records),
+        )
+
+    def summaries(self) -> list[AlgorithmSummary]:
+        """One summary per algorithm, in first-appearance order."""
+        return [self.summary(name) for name in self.algorithms]
+
+    # -- serialization -----------------------------------------------------
+
+    def to_data(self) -> dict:
+        """A plain-data (JSON-safe) representation of the whole batch."""
+        return {
+            "version": FORMAT_VERSION,
+            "cases": self.case_count,
+            "records": [asdict(record) for record in self.records],
+            "summaries": [asdict(summary) for summary in self.summaries()],
+        }
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Canonical JSON: two equal results serialize byte-identically."""
+        return json.dumps(self.to_data(), indent=indent, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json(indent=2))
+            handle.write("\n")
+
+    @staticmethod
+    def from_data(data: Mapping) -> "BatchResult":
+        """Rebuild a result from :meth:`to_data` output (summaries re-derived)."""
+        if data.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported batch format version {data.get('version')!r}"
+            )
+        return BatchResult(
+            records=tuple(
+                SweepRecord(**entry) for entry in data["records"]
+            )
+        )
+
+    @staticmethod
+    def merge(results: Iterable["BatchResult"]) -> "BatchResult":
+        """Concatenate several batches (e.g. per-shard results) in order."""
+        merged: list[SweepRecord] = []
+        for result in results:
+            merged.extend(result.records)
+        return BatchResult(records=tuple(merged))

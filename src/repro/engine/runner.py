@@ -1,0 +1,128 @@
+"""The batch execution engine: serial and multiprocessing case runners.
+
+:func:`run_batch` is the main entry point: it takes a declarative
+:class:`~repro.engine.grids.GridSpec` (or an already-expanded case list),
+executes every case — across a ``multiprocessing`` pool when ``workers >
+1``, or inline otherwise — and aggregates the streamed
+:class:`~repro.analysis.sweep.SweepRecord` stream into a
+:class:`~repro.engine.results.BatchResult`.
+
+Determinism contract: executions of the same grid produce *identical*
+record sequences regardless of worker count.  Three properties make this
+hold:
+
+* case expansion is a pure function of the spec (seeds derived by SHA-256,
+  never by global RNG state);
+* each case runs on the deterministic kernel, so its record is a function
+  of the case alone;
+* records are collected as ``(case index, record)`` pairs and re-sorted by
+  index, erasing pool scheduling order.
+
+Workers resolve automaton factories from the algorithm registry by name,
+so cases stay picklable.  Cases carrying an explicit in-process ``factory``
+(the legacy ``analysis.sweep`` path) are executed serially.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, Sequence
+
+from repro.analysis.sweep import SweepRecord, run_case
+from repro.engine.cases import Case
+from repro.engine.grids import GridSpec, expand_grid
+from repro.engine.results import BatchResult
+
+OnRecord = Callable[[int, SweepRecord], None]
+
+
+def execute_case(case: Case) -> tuple[int, SweepRecord]:
+    """Run one case and return its (index, record) pair.
+
+    Module-level (not a closure) so the multiprocessing pool can pickle it.
+    """
+    record, _trace = run_case(
+        case.algorithm,
+        case.resolve_factory(),
+        case.workload,
+        case.schedule,
+        list(case.proposals),
+    )
+    return case.index, record
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, no re-import) where the platform offers it."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def resolve_workers(workers: int | None, n_cases: int) -> int:
+    """Clamp a requested worker count to something sensible.
+
+    ``None`` or 0 auto-sizes to the machine (capped at 8 — the per-case
+    work is small, so more workers mostly add IPC overhead).
+    """
+    if workers is None or workers <= 0:
+        workers = min(8, os.cpu_count() or 1)
+    return max(1, min(workers, n_cases))
+
+
+def run_cases(
+    cases: Sequence[Case],
+    *,
+    workers: int = 1,
+    on_record: OnRecord | None = None,
+) -> list[SweepRecord]:
+    """Execute *cases* and return their records in canonical case order.
+
+    Args:
+        cases: expanded cases; their ``index`` fields define the output
+            order (they need not be contiguous, only unique).
+        workers: pool size; <= 1 selects the deterministic serial path.
+            Cases with explicit in-process factories force the serial path.
+        on_record: optional streaming callback, invoked as each record
+            arrives (in completion order, which under a pool is
+            nondeterministic — only the returned list is canonical).
+    """
+    serial_only = any(case.factory is not None for case in cases)
+    workers = resolve_workers(workers, len(cases))
+
+    indexed: list[tuple[int, SweepRecord]] = []
+    if workers <= 1 or serial_only or len(cases) < 2:
+        for case in cases:
+            pair = execute_case(case)
+            indexed.append(pair)
+            if on_record is not None:
+                on_record(*pair)
+    else:
+        context = _pool_context()
+        chunksize = max(1, len(cases) // (workers * 4))
+        with context.Pool(processes=workers) as pool:
+            for pair in pool.imap_unordered(
+                execute_case, cases, chunksize=chunksize
+            ):
+                indexed.append(pair)
+                if on_record is not None:
+                    on_record(*pair)
+    indexed.sort(key=lambda pair: pair[0])
+    return [record for _index, record in indexed]
+
+
+def run_batch(
+    grid: GridSpec | Iterable[Case],
+    *,
+    workers: int = 1,
+    on_record: OnRecord | None = None,
+) -> BatchResult:
+    """Expand (if needed) and execute a grid, returning the aggregate result."""
+    if isinstance(grid, GridSpec):
+        cases: Sequence[Case] = expand_grid(grid)
+    else:
+        cases = list(grid)
+    return BatchResult(
+        records=tuple(run_cases(cases, workers=workers, on_record=on_record))
+    )

@@ -91,6 +91,13 @@ def execute(
                 delivery = schedule.delivery_round(pid, receiver, k)
                 if delivery is None:
                     continue
+                if receiver in halted or not schedule.completes_round(
+                    receiver, delivery
+                ):
+                    # The receiver leaves the computation before the
+                    # delivery round, so the message can never be received;
+                    # buffering it would leak until the end of the run.
+                    continue
                 message = Message(
                     sent_round=k, sender=pid, receiver=receiver,
                     payload=payload,
@@ -113,6 +120,14 @@ def execute(
                 halted_this_round.add(pid)
 
         halted.update(halted_this_round)
+        if halted_this_round:
+            # Purge messages already buffered for processes that halted
+            # this round; they would otherwise sit in ``pending`` until
+            # their delivery round only to be dropped there.
+            for key in [
+                key for key in pending if key[0] in halted_this_round
+            ]:
+                del pending[key]
         records.append(
             RoundRecord(
                 round=k,

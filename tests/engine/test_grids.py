@@ -1,0 +1,191 @@
+"""Tests for declarative grids and the seeded schedule-family layer."""
+
+import pytest
+
+from repro.engine.grids import (
+    DETERMINISTIC_KINDS,
+    SEEDED_KINDS,
+    FamilySpec,
+    GridError,
+    GridSpec,
+    build_schedule,
+    case_seed,
+    default_sweep_grid,
+    expand_family,
+    expand_grid,
+    family,
+)
+from repro.model.schedule import Schedule
+
+
+class TestCaseSeed:
+    def test_deterministic(self):
+        assert case_seed(0, "es", 3) == case_seed(0, "es", 3)
+
+    def test_sensitive_to_every_component(self):
+        base = case_seed(0, "es", 3)
+        assert case_seed(1, "es", 3) != base
+        assert case_seed(0, "scs", 3) != base
+        assert case_seed(0, "es", 4) != base
+
+    def test_no_index_collisions_in_practice(self):
+        seeds = {case_seed(0, "es", i) for i in range(1000)}
+        assert len(seeds) == 1000
+
+
+class TestFamilySpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(GridError, match="unknown family kind"):
+            family("x", "not_a_kind")
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(GridError, match="count"):
+            family("x", "random_es", count=0)
+
+    def test_params_are_sorted_pairs(self):
+        fam = family("k", "killer", rounds_per_cycle=2, f=1)
+        assert fam.params == (("f", 1), ("rounds_per_cycle", 2))
+
+
+class TestBuildSchedule:
+    @pytest.mark.parametrize("kind", SEEDED_KINDS)
+    def test_seeded_kinds(self, kind):
+        fam = family(kind, kind, horizon=10)
+        schedule = build_schedule(fam, 5, 2, seed=42)
+        assert isinstance(schedule, Schedule)
+        assert (schedule.n, schedule.t, schedule.horizon) == (5, 2, 10)
+
+    def test_seed_changes_seeded_schedules(self):
+        fam = family("es", "random_es", horizon=12)
+        a = build_schedule(fam, 5, 2, seed=1)
+        b = build_schedule(fam, 5, 2, seed=2)
+        assert a != b  # astronomically unlikely to collide
+
+    @pytest.mark.parametrize("kind", DETERMINISTIC_KINDS)
+    def test_deterministic_kinds(self, kind):
+        params = {}
+        if kind == "killer":
+            params["rounds_per_cycle"] = 2
+        if kind == "async_prefix":
+            params["k"] = 2
+        if kind == "rotating":
+            params["async_rounds"] = 2
+        fam = family(kind, kind, horizon=12, **params)
+        assert build_schedule(fam, 5, 2, seed=0) == build_schedule(
+            fam, 5, 2, seed=99
+        )
+
+
+class TestExpandFamily:
+    def test_seeded_labels_embed_derived_seed(self):
+        fam = family("es", "random_es", count=3)
+        instances = expand_family(fam, 5, 2, master_seed=7)
+        assert len(instances) == 3
+        for i, (label, _schedule) in enumerate(instances):
+            assert label == f"es[{i}]@{case_seed(7, 'es', i)}"
+
+    def test_singleton_deterministic_label_is_bare_name(self):
+        fam = family("cascade", "cascade")
+        (label, _schedule), = expand_family(fam, 5, 2, master_seed=0)
+        assert label == "cascade"
+
+    def test_reexpansion_identical(self):
+        fam = family("scs", "random_scs", count=5)
+        assert expand_family(fam, 5, 2, 3) == expand_family(fam, 5, 2, 3)
+
+
+class TestGridSpec:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(GridError, match="unknown algorithm"):
+            GridSpec(n=5, t=2, algorithms=("nope",),
+                     families=(family("es", "random_es"),))
+
+    def test_duplicate_family_names_rejected(self):
+        with pytest.raises(GridError, match="duplicate family names"):
+            GridSpec(
+                n=5, t=2, algorithms=("att2",),
+                families=(family("es", "random_es"),
+                          family("es", "random_scs")),
+            )
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(GridError, match="at least one algorithm"):
+            GridSpec(n=5, t=2, algorithms=(),
+                     families=(family("es", "random_es"),))
+        with pytest.raises(GridError, match="at least one schedule family"):
+            GridSpec(n=5, t=2, algorithms=("att2",), families=())
+
+    def test_bad_proposal_mode_rejected(self):
+        with pytest.raises(GridError, match="proposal_mode"):
+            GridSpec(n=5, t=2, algorithms=("att2",),
+                     families=(family("es", "random_es"),),
+                     proposal_mode="zeros")
+
+    def test_case_count(self):
+        spec = GridSpec(
+            n=5, t=2, algorithms=("att2", "floodset"),
+            families=(family("es", "random_es", count=4),
+                      family("ff", "failure_free")),
+        )
+        assert spec.case_count == 2 * (4 + 1)
+
+
+class TestExpandGrid:
+    def _spec(self, **overrides):
+        defaults = dict(
+            n=5, t=2,
+            algorithms=("att2", "hurfin_raynal"),
+            families=(family("es", "random_es", count=3),
+                      family("ff", "failure_free")),
+            seed=11,
+        )
+        defaults.update(overrides)
+        return GridSpec(**defaults)
+
+    def test_count_order_and_indices(self):
+        cases = expand_grid(self._spec())
+        assert len(cases) == 8
+        assert [case.index for case in cases] == list(range(8))
+        # Algorithm-major order, families in declaration order.
+        assert [case.algorithm for case in cases] == (
+            ["att2"] * 4 + ["hurfin_raynal"] * 4
+        )
+        assert [case.workload for case in cases[:4]] == [
+            case.workload for case in cases[4:]
+        ]
+
+    def test_same_schedule_for_every_algorithm(self):
+        cases = expand_grid(self._spec())
+        assert cases[0].schedule == cases[4].schedule
+
+    def test_reexpansion_identical(self):
+        assert expand_grid(self._spec()) == expand_grid(self._spec())
+
+    def test_seed_changes_seeded_schedules_only(self):
+        a = expand_grid(self._spec())
+        b = expand_grid(self._spec(seed=12))
+        assert a[0].schedule != b[0].schedule      # random_es instance
+        assert a[3].schedule == b[3].schedule      # failure_free
+
+    def test_range_proposals(self):
+        cases = expand_grid(self._spec())
+        assert all(case.proposals == (0, 1, 2, 3, 4) for case in cases)
+
+    def test_random_proposals_are_seeded_and_valid(self):
+        cases = expand_grid(self._spec(proposal_mode="random"))
+        again = expand_grid(self._spec(proposal_mode="random"))
+        assert [c.proposals for c in cases] == [c.proposals for c in again]
+        assert any(c.proposals != (0, 1, 2, 3, 4) for c in cases)
+        assert all(len(c.proposals) == 5 for c in cases)
+
+
+class TestDefaultSweepGrid:
+    def test_meets_the_acceptance_floor(self):
+        grid = default_sweep_grid()
+        assert len(grid.algorithms) >= 3
+        assert grid.case_count >= 100
+
+    def test_scales_by_config(self):
+        small = default_sweep_grid(cases_per_family=2)
+        big = default_sweep_grid(cases_per_family=40)
+        assert big.case_count > 2 * small.case_count

@@ -1,0 +1,198 @@
+"""Tests for the batch runner and result aggregation."""
+
+import json
+
+import pytest
+
+from repro import ATt2, Schedule
+from repro.analysis.sweep import SweepRecord
+from repro.engine import (
+    BatchResult,
+    Case,
+    GridSpec,
+    family,
+    resolve_workers,
+    run_batch,
+    run_cases,
+)
+
+
+def _case(index, algorithm="att2", workload="ff", n=3, t=1, horizon=8,
+          factory=None):
+    return Case(
+        index=index,
+        algorithm=algorithm,
+        workload=workload,
+        schedule=Schedule.failure_free(n, t, horizon),
+        proposals=tuple(range(n)),
+        factory=factory,
+    )
+
+
+class TestRunCases:
+    def test_empty(self):
+        assert run_cases([]) == []
+
+    def test_serial_records_in_index_order(self):
+        records = run_cases([_case(1), _case(0, algorithm="floodset")])
+        assert [r.algorithm for r in records] == ["floodset", "att2"]
+        assert records[1].global_round == 3  # t + 2
+        assert records[0].global_round == 2  # t + 1
+
+    def test_explicit_factory_overrides_registry(self):
+        # A deliberately wrong registry name proves the factory is used.
+        case = _case(0, algorithm="not_in_registry",
+                     factory=ATt2.factory())
+        (record,) = run_cases([case])
+        assert record.algorithm == "not_in_registry"
+        assert record.global_round == 3
+
+    def test_unpicklable_factory_forces_serial_path(self):
+        # Lambdas cannot cross a process boundary; succeeding under
+        # workers=4 proves the runner fell back to serial execution.
+        cases = [
+            _case(i, algorithm="custom",
+                  factory=lambda pid, n, t, proposal:
+                      ATt2.factory()(pid, n, t, proposal))
+            for i in range(3)
+        ]
+        records = run_cases(cases, workers=4)
+        assert [r.global_round for r in records] == [3, 3, 3]
+
+    def test_on_record_streams_every_case(self):
+        seen = []
+        run_cases([_case(i) for i in range(5)],
+                  on_record=lambda index, record: seen.append(index))
+        assert sorted(seen) == list(range(5))
+
+    def test_record_carries_horizon(self):
+        (record,) = run_cases([_case(0, horizon=9)])
+        assert record.horizon == 9
+
+
+class TestResolveWorkers:
+    def test_auto_sizes_and_clamps(self):
+        assert resolve_workers(None, 100) >= 1
+        assert resolve_workers(0, 100) >= 1
+        assert resolve_workers(16, 3) == 3
+        assert resolve_workers(4, 0) == 1
+        assert resolve_workers(1, 100) == 1
+
+
+class TestRunBatch:
+    def test_accepts_grid_or_cases(self):
+        grid = GridSpec(
+            n=3, t=1, algorithms=("att2", "floodset"),
+            families=(family("ff", "failure_free", horizon=8),
+                      family("es", "random_es", count=2, horizon=10)),
+        )
+        from repro.engine import expand_grid
+
+        by_grid = run_batch(grid)
+        by_cases = run_batch(expand_grid(grid))
+        assert by_grid == by_cases
+        assert by_grid.case_count == 6
+
+    def test_parallel_pool_used_for_plain_cases(self):
+        result = run_batch([_case(i) for i in range(8)], workers=2)
+        assert result.case_count == 8
+        assert all(r.global_round == 3 for r in result.records)
+
+
+class TestBatchResult:
+    def _result(self):
+        return run_batch([
+            _case(0, workload="ff8"),
+            _case(1, workload="ff6", horizon=6),
+            _case(2, algorithm="floodset", workload="ff8"),
+        ])
+
+    def test_algorithms_in_first_appearance_order(self):
+        assert self._result().algorithms == ("att2", "floodset")
+
+    def test_find(self):
+        result = self._result()
+        assert result.find("floodset", "ff8").global_round == 2
+        with pytest.raises(KeyError):
+            result.find("att2", "nope")
+
+    def test_summary_counts(self):
+        summary = self._result().summary("att2")
+        assert summary.cases == 2
+        assert summary.decided == 2
+        assert summary.violations == 0
+        assert summary.worst_round == 3
+        assert summary.messages > 0
+
+    def test_worst_case_counts_undecided_as_horizon_plus_one(self):
+        decided = SweepRecord(
+            algorithm="a", workload="w1", n=3, t=1, crashes=0, sync_from=1,
+            global_round=3, first_round=3, deciders=3,
+            agreement_ok=True, validity_ok=True, messages=9, horizon=8,
+        )
+        undecided = SweepRecord(
+            algorithm="a", workload="w2", n=3, t=1, crashes=0, sync_from=1,
+            global_round=None, first_round=None, deciders=0,
+            agreement_ok=True, validity_ok=True, messages=9, horizon=8,
+        )
+        result = BatchResult(records=(decided, undecided))
+        assert result.worst_case("a") == (9, "w2")
+
+    def test_worst_case_tie_keeps_first_witness(self):
+        result = self._result()
+        worst, witness = result.worst_case("att2")
+        assert (worst, witness) == (3, "ff8")
+
+    def test_violations_empty_on_safe_batch(self):
+        assert self._result().violations() == ()
+
+    def test_json_roundtrip(self):
+        result = self._result()
+        data = json.loads(result.to_json())
+        rebuilt = BatchResult.from_data(data)
+        assert rebuilt == result
+        assert rebuilt.to_json() == result.to_json()
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "batch.json"
+        result = self._result()
+        result.save(str(path))
+        assert BatchResult.from_data(json.loads(path.read_text())) == result
+
+    def test_from_data_rejects_unknown_version(self):
+        with pytest.raises(ValueError, match="version"):
+            BatchResult.from_data({"version": 99, "records": []})
+
+    def test_merge(self):
+        a, b = self._result(), self._result()
+        merged = BatchResult.merge([a, b])
+        assert merged.case_count == a.case_count + b.case_count
+        assert merged.records[:3] == a.records
+
+
+class TestCasesFrom:
+    def test_builds_indexed_cases(self):
+        from repro.engine import cases_from
+
+        schedule = Schedule.failure_free(3, 1, 8)
+        cases = cases_from(
+            (name, "ff", schedule, range(3))
+            for name in ("att2", "floodset")
+        )
+        assert [c.index for c in cases] == [0, 1]
+        assert [c.algorithm for c in cases] == ["att2", "floodset"]
+        assert all(c.proposals == (0, 1, 2) for c in cases)
+        assert all(c.factory is None for c in cases)
+
+
+class TestCorrectUndecided:
+    def test_zero_when_every_correct_process_decides(self):
+        (record,) = run_cases([_case(0)])
+        assert record.correct_undecided == 0
+
+    def test_counts_correct_processes_only(self):
+        # Horizon 1 is far too short for att2 (needs t + 2 = 3 rounds),
+        # so all three correct processes stay undecided.
+        (record,) = run_cases([_case(0, horizon=1)])
+        assert record.global_round is None
+        assert record.correct_undecided == 3

@@ -174,3 +174,81 @@ class TestDeterminism:
         assert a.decisions == b.decisions
         for pid in range(5):
             assert a.view(pid, 12) == b.view(pid, 12)
+
+
+class TestDepartedReceiverBuffering:
+    """Messages to processes that left the computation are never buffered.
+
+    Regression test for the ``pending`` message-buffer leak: the send
+    phase used to enqueue messages for receivers that had already crashed
+    or halted (or whose delayed delivery landed after the receiver's
+    crash round); they sat in the buffer until their delivery round —
+    for the whole run, if it ended first — without ever being delivered.
+    """
+
+    def _counting_kernel(self, monkeypatch):
+        import repro.sim.kernel as kernel
+
+        created = []
+        real_message = kernel.Message
+
+        def counting_message(**kwargs):
+            created.append(kwargs)
+            return real_message(**kwargs)
+
+        monkeypatch.setattr(kernel, "Message", counting_message)
+        return created
+
+    def test_no_messages_created_for_crashed_receiver(self, monkeypatch):
+        from repro import HurfinRaynalES
+        from repro.sim.kernel import run_algorithm
+
+        created = self._counting_kernel(monkeypatch)
+        schedule = Schedule.synchronous(4, 2, 8, crashes={3: (1, [])})
+        trace = run_algorithm(HurfinRaynalES, schedule, [0, 1, 2, 3])
+        # p3 crashes in round 1 and never completes a receive phase, so
+        # not a single message addressed to it should be materialized.
+        assert not [m for m in created if m["receiver"] == 3]
+        # The purge is unobservable to the algorithms: the run still
+        # reaches a correct global decision.
+        assert len(trace.decided_values()) == 1
+
+    def test_no_messages_created_for_halted_receiver(self, monkeypatch):
+        created = self._counting_kernel(monkeypatch)
+        schedule = Schedule.failure_free(3, 1, 6)
+        automata = [
+            SilentThenHalt(0, 3, 1, 0),
+            Recorder(1, 3, 1, 1),
+            Recorder(2, 3, 1, 2),
+        ]
+        execute(automata, schedule, stop_when_quiescent=False)
+        # p0 halts at the end of round 2; rounds 3+ must not buffer
+        # messages addressed to it.
+        late_to_halted = [
+            m for m in created
+            if m["receiver"] == 0 and m["sent_round"] > 2
+        ]
+        assert not late_to_halted
+
+    def test_delayed_delivery_past_crash_round_is_not_buffered(
+        self, monkeypatch
+    ):
+        from repro import ATt2
+        from repro.sim.kernel import run_algorithm
+
+        created = self._counting_kernel(monkeypatch)
+        builder = ScheduleBuilder(4, 1, 8)
+        builder.crash(3, 4, delivered_to=[0, 1, 2])
+        builder.delay(0, 3, 2, 6)  # lands two rounds after p3 crashed
+        trace = run_algorithm(
+            ATt2.factory(), builder.build(), [0, 1, 2, 3]
+        )
+        # The direct round-2 deliveries to p3 are legitimate (it is alive
+        # until round 4); only the delayed 0 -> 3 message, which would
+        # land after the crash, must never be materialized.
+        assert not [
+            m for m in created
+            if m["receiver"] == 3 and m["sent_round"] == 2
+            and m["sender"] == 0
+        ]
+        assert len(trace.decided_values()) == 1

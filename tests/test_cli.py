@@ -77,3 +77,41 @@ class TestExperiments:
         out = capsys.readouterr().out
         assert "E5: the price of indulgence" in out
         assert "E10: split-brain" in out
+
+
+class TestSweep:
+    ARGS = [
+        "sweep", "--cases-per-family", "2", "--seed", "3",
+        "--algorithms", "att2,floodset,hurfin_raynal",
+    ]
+
+    def test_runs_and_reports_safety(self, capsys):
+        assert main(self.ARGS + ["--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Batch sweep" in out
+        assert "att2" in out and "floodset" in out
+        assert "safety (agreement + validity): ok" in out
+
+    def test_parallel_json_matches_serial(self, capsys, tmp_path):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        assert main(self.ARGS + ["--workers", "1", "--json",
+                                 str(serial)]) == 0
+        assert main(self.ARGS + ["--workers", "2", "--json",
+                                 str(parallel)]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_unknown_algorithm_rejected(self):
+        from repro.engine import GridError
+
+        with pytest.raises(GridError, match="unknown algorithm"):
+            main(["sweep", "--algorithms", "nope"])
+
+    def test_default_grid_meets_acceptance_floor(self, capsys):
+        assert main(["sweep", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        first_line = out.splitlines()[0]
+        cases = int(first_line.split()[1])
+        assert cases >= 100
+        assert "5 algorithms" in first_line
