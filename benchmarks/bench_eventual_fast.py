@@ -19,7 +19,7 @@ from repro.engine.grids import expand_family
 from repro.sim.random_schedules import random_proposals
 from repro.workloads import async_prefix
 
-from conftest import emit
+from conftest import emit, shared_cache
 
 N, T = 7, 2
 POINTS = [(k, f) for k in (0, 2, 4) for f in (0, 1, 2)]
@@ -31,7 +31,7 @@ def eventual_fast_rows():
          async_prefix(N, T, k + f + 10, k=k, crashes_after=f), range(N))
         for k, f in POINTS
         for algorithm in ("afp2", "amr_leader")
-    ))
+    ), cache=shared_cache())
     rows = []
     for k, f in POINTS:
         afp2 = result.find("afp2", f"k{k}f{f}")

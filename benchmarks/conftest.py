@@ -8,7 +8,36 @@ the tables alongside pytest-benchmark's timing output.
 
 from __future__ import annotations
 
+import atexit
+import shutil
 import sys
+import tempfile
+
+_CACHE = None
+
+
+def shared_cache():
+    """The process-wide result cache shared by the comparison benches.
+
+    The E5–E8 grids re-run identical failure-free and structured baselines
+    both across pytest-benchmark iterations and across bench files; the
+    cache is content-addressed (:mod:`repro.engine.cache`), so each
+    distinct (algorithm, schedule, proposals) case pays the kernel exactly
+    once per process and every repeat is a disk read.  Consequence: with
+    ``--benchmark-only``, iterations after the first time warm-cache reads,
+    not kernel execution — use the uncached benches (resilience, ablation,
+    lower-bound) to time the engine itself.  The temp directory is fresh
+    per process (timings never depend on an earlier invocation) and is
+    removed at interpreter exit.
+    """
+    global _CACHE
+    if _CACHE is None:
+        from repro.engine import ResultCache
+
+        directory = tempfile.mkdtemp(prefix="repro-bench-cache-")
+        atexit.register(shutil.rmtree, directory, ignore_errors=True)
+        _CACHE = ResultCache(directory)
+    return _CACHE
 
 
 def emit(table: str) -> None:

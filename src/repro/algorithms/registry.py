@@ -3,11 +3,21 @@
 Benches, sweeps and examples refer to algorithms by name; the registry maps
 names to :data:`~repro.algorithms.base.AlgorithmFactory` callables together
 with the model each algorithm is designed for.
+
+The registry is also the provenance authority for the batch engine's
+content-addressed result cache (:mod:`repro.engine.cache`):
+:func:`algorithm_source_hash` fingerprints the source code implementing an
+algorithm, so cached records are invalidated the moment the code that
+produced them changes.
 """
 
 from __future__ import annotations
 
+import hashlib
+import inspect
+import sys
 from dataclasses import dataclass
+from types import ModuleType
 from typing import Callable
 
 from repro.algorithms.base import AlgorithmFactory
@@ -94,10 +104,137 @@ def available_algorithms() -> dict[str, AlgorithmInfo]:
     return _entries()
 
 
-def get_factory(name: str) -> AlgorithmFactory:
-    """The factory for algorithm *name* (raises KeyError with suggestions)."""
+def _require(name: str) -> AlgorithmInfo:
+    """The registry entry for *name* (raises KeyError with suggestions)."""
     entries = _entries()
     if name not in entries:
         known = ", ".join(sorted(entries))
         raise KeyError(f"unknown algorithm {name!r}; known: {known}")
-    return entries[name].make()
+    return entries[name]
+
+
+def get_factory(name: str) -> AlgorithmFactory:
+    """The factory for algorithm *name* (raises KeyError with suggestions)."""
+    return _require(name).make()
+
+
+# -- source fingerprints (cache invalidation) ------------------------------
+
+_SOURCE_HASH_CACHE: dict[str, str] = {}
+
+
+def _module_closure(roots: list[ModuleType]) -> list[ModuleType]:
+    """The transitive repro-module closure of *roots*, sorted by name.
+
+    Walks each module's globals: any ``repro.*`` module referenced there —
+    directly, or as the defining module of an imported class/function — is
+    pulled in and walked too.  This is what makes the fingerprint cover
+    *composed* dependencies, not just inheritance: ``att2`` imports
+    ``ChandraTouegES`` as its default underlying consensus and
+    ``suspicion.EstimateState`` for its message state, so editing either
+    module changes att2's fingerprint.  Modules without a backing file
+    (builtins) are skipped.
+    """
+    seen: dict[str, ModuleType] = {}
+    stack = list(roots)
+    while stack:
+        module = stack.pop()
+        name = getattr(module, "__name__", None)
+        if name is None or name in seen:
+            continue
+        if not getattr(module, "__file__", None):
+            continue
+        seen[name] = module
+        for value in vars(module).values():
+            dep = (
+                value if isinstance(value, ModuleType)
+                else inspect.getmodule(value)
+            )
+            dep_name = getattr(dep, "__name__", "")
+            if dep_name != "repro" and not dep_name.startswith("repro."):
+                continue  # only this package, not e.g. site-packages repro*
+            if dep_name not in seen:
+                stack.append(dep)
+    return [seen[name] for name in sorted(seen)]
+
+
+def source_closure_hash(roots: list[ModuleType]) -> str | None:
+    """SHA-256 over the source of *roots*' transitive repro-module closure.
+
+    Returns ``None`` when the closure is empty or any member's source text
+    is unavailable (frozen interpreter, interactive definitions) — callers
+    treat that as "unfingerprintable", i.e. uncacheable.
+    """
+    modules = _module_closure(roots)
+    if not modules:
+        return None
+    digest = hashlib.sha256()
+    for module in modules:
+        try:
+            source = inspect.getsource(module)
+        except (OSError, TypeError):
+            return None
+        digest.update(module.__name__.encode())
+        digest.update(b"\x00")
+        digest.update(source.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _source_modules(info: AlgorithmInfo) -> list[ModuleType]:
+    """Modules whose source defines *info*'s algorithm, sorted by name.
+
+    Roots are the factory's own defining module plus every class in the
+    MRO of the produced factory (and of the class a bound ``factory``
+    classmethod is attached to); the result is their transitive closure
+    (:func:`_module_closure`) — so ``att2_optimized`` depends on the
+    ``att2.py`` it subclasses, every automaton depends on ``base.py``,
+    and composed modules (underlying consensus, suspicion state) are
+    covered too.
+    """
+    roots: dict[str, ModuleType] = {}
+    owner = getattr(info.make, "__self__", None)
+    for obj in (owner, info.make()):
+        if obj is None:
+            continue
+        entries = obj.__mro__ if isinstance(obj, type) else [obj]
+        for entry in entries:
+            module = inspect.getmodule(entry)
+            if module is None or not getattr(module, "__file__", None):
+                continue
+            # Stdlib bases (abc.ABC in every automaton's MRO) carry no
+            # algorithm behavior; hashing them would invalidate the whole
+            # cache on a Python upgrade — or disable caching entirely
+            # where stdlib source is unavailable.
+            if module.__name__.partition(".")[0] in sys.stdlib_module_names:
+                continue
+            roots[module.__name__] = module
+    return _module_closure(list(roots.values()))
+
+
+def algorithm_source_hash(name: str) -> str | None:
+    """SHA-256 fingerprint of the source code implementing algorithm *name*.
+
+    A pure content hash over the modules of :func:`_source_modules`, so it
+    changes exactly when the algorithm's implementation — or anything in
+    its import closure (inherited bases, composed underlying consensus,
+    shared helpers) — is edited: the code-change component of the engine's
+    cache keys.  Returns ``None`` when source text is unavailable (frozen
+    interpreter, interactively-defined factory): such algorithms are
+    simply uncacheable.  Raises ``KeyError`` for unregistered names, like
+    :func:`get_factory`.
+
+    Hashes are memoized per name; call :func:`clear_source_hash_cache`
+    after reloading an algorithm module in-process (tests do).
+    """
+    if name in _SOURCE_HASH_CACHE:
+        return _SOURCE_HASH_CACHE[name]
+    result = source_closure_hash(_source_modules(_require(name)))
+    if result is not None:
+        _SOURCE_HASH_CACHE[name] = result
+    return result
+
+
+def clear_source_hash_cache() -> None:
+    """Forget memoized source fingerprints (after in-process module edits)."""
+    _SOURCE_HASH_CACHE.clear()

@@ -23,7 +23,14 @@ from repro.types import Round, Value
 
 @dataclass(frozen=True)
 class SweepRecord:
-    """One (algorithm, workload) measurement."""
+    """One (algorithm, workload) measurement.
+
+    ``case_index`` is the originating :class:`~repro.engine.cases.Case`
+    index, stamped by the engine when the record is produced (or re-stamped
+    on a cache hit).  It is the explicit sort key that makes
+    :meth:`~repro.engine.results.BatchResult.merge` order-independent;
+    ``-1`` marks hand-built records that never passed through the engine.
+    """
 
     algorithm: str
     workload: str
@@ -39,6 +46,7 @@ class SweepRecord:
     messages: int
     horizon: Round = 0
     correct_undecided: int = 0
+    case_index: int = -1
 
     def row(self) -> tuple:
         return (
@@ -110,31 +118,52 @@ def _as_cases(
 
 def sweep(
     cases: Iterable[
-        tuple[str, AlgorithmFactory, str, Schedule, Sequence[Value]]
+        tuple[str, AlgorithmFactory | None, str, Schedule, Sequence[Value]]
     ],
+    *,
+    cache=None,
 ) -> list[SweepRecord]:
-    """Run every case on the engine and return the records in input order."""
+    """Run every case on the engine and return the records in input order.
+
+    ``cache`` is forwarded to the engine
+    (:class:`~repro.engine.cache.ResultCache`).  A case's factory may be
+    ``None``, in which case its algorithm name is resolved from the
+    registry inside the engine — that is also what makes the case
+    cacheable: explicit factories have no reliable code fingerprint, so
+    the cache declines to key them.
+    """
     from repro.engine.runner import run_cases
 
-    return run_cases(_as_cases(cases))
+    return run_cases(_as_cases(cases), cache=cache)
 
 
 def worst_case_round(
-    factory: AlgorithmFactory,
+    factory: AlgorithmFactory | str,
     schedules: Iterable[tuple[str, Schedule]],
     proposals: Sequence[Value],
+    *,
+    cache=None,
 ) -> tuple[Round, str]:
     """The maximum global decision round over the schedules, with its witness.
 
     Schedules on which the run does not decide within the horizon count as
     ``horizon + 1`` (a conservative lower estimate of the true round).
+
+    ``factory`` may be a registry name instead of a factory callable; the
+    engine then resolves it by name, which also makes the cases eligible
+    for the forwarded ``cache`` (explicit factory callables never are —
+    their captured state has no reliable fingerprint).
     """
     from repro.engine.results import BatchResult
     from repro.engine.runner import run_cases
 
+    if isinstance(factory, str):
+        algorithm, explicit = factory, None
+    else:
+        algorithm, explicit = "<worst-case>", factory
     cases = _as_cases(
-        ("<worst-case>", factory, name, schedule, proposals)
+        (algorithm, explicit, name, schedule, proposals)
         for name, schedule in schedules
     )
-    result = BatchResult(records=tuple(run_cases(cases)))
-    return result.worst_case("<worst-case>")
+    result = BatchResult(records=tuple(run_cases(cases, cache=cache)))
+    return result.worst_case(algorithm)

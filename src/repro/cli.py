@@ -19,6 +19,7 @@ Examples::
     python -m repro sweep --workers 4 --json sweep.json
     python -m repro sweep --algorithms att2,hurfin_raynal \
         --n 7 --t 3 --cases-per-family 40 --seed 7
+    python -m repro sweep --cache .sweep-cache --workers 4
 
 The ``sweep`` grid schema
 -------------------------
@@ -48,11 +49,29 @@ families plus the five structured workloads of experiment E5 — sized by
 are re-sorted into expansion order after execution, and ``--workers N``
 therefore yields byte-identical output to serial execution — any
 ``--json`` export of the same grid and seed diffs empty.
+
+The ``sweep`` result cache
+--------------------------
+
+``--cache DIR`` threads a content-addressed on-disk record cache
+(:mod:`repro.engine.cache`) through the engine: each case is keyed by
+SHA-256 over (key-scheme tag, algorithm name, a source hash of the
+algorithm's transitive module closure, a source hash of the simulation
+kernel and record machinery, the schedule's canonical digest, the
+proposals), so only cache *misses* ever reach the kernel.  Re-running an
+identical grid against a warm cache executes zero cases and produces
+byte-identical ``--json`` output; editing an algorithm's source
+invalidates only that algorithm's entries (and its dependents'), while
+editing the kernel or metrics invalidates everything.  The CLI prints
+the hit/miss tally after each cached sweep; ``--no-cache`` bypasses a
+configured ``--cache`` without having to edit scripted invocations, and
+deleting the directory is always safe — it costs only recomputation.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -107,7 +126,13 @@ def _cmd_run(args) -> int:
         args.workload, args.n, args.t, args.horizon, args.sync_after
     )
     if args.proposals:
-        proposals = [int(v) for v in args.proposals.split(",")]
+        try:
+            proposals = [int(v) for v in args.proposals.split(",")]
+        except ValueError:
+            raise SystemExit(
+                f"proposals must be comma-separated integers, "
+                f"got {args.proposals!r}"
+            )
         if len(proposals) != args.n:
             raise SystemExit(
                 f"need {args.n} proposals, got {len(proposals)}"
@@ -135,15 +160,47 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _ensure_writable(path: str) -> None:
+    """Fail fast if *path* cannot be written — before minutes of compute.
+
+    Opens in append mode so an existing export is never truncated; a file
+    the probe itself created is removed again, so a sweep that later fails
+    leaves no misleading empty export behind.
+    """
+    existed = os.path.exists(path)
+    try:
+        with open(path, "a", encoding="utf-8"):
+            pass
+    except OSError as exc:
+        raise SystemExit(f"cannot write --json output {path!r}: {exc}")
+    if not existed:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+
 def _cmd_sweep(args) -> int:
     from repro.engine import (
         AlgorithmSummary,
+        ResultCache,
         default_sweep_grid,
         expand_grid,
         run_batch,
     )
     from repro.engine.grids import DEFAULT_SWEEP_ALGORITHMS
     from repro.engine.runner import resolve_workers
+
+    if args.json:
+        _ensure_writable(args.json)
+    cache = None
+    if args.cache and not args.no_cache:
+        try:
+            cache = ResultCache(args.cache)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot use --cache directory {args.cache!r}: {exc}"
+            )
 
     algorithms = (
         tuple(name.strip() for name in args.algorithms.split(",") if name)
@@ -165,13 +222,15 @@ def _cmd_sweep(args) -> int:
         f"{sum(f.count for f in grid.families)} schedules), "
         f"seed={args.seed}, workers={workers}"
     )
-    result = run_batch(cases, workers=workers)
+    result = run_batch(cases, workers=workers, cache=cache)
     rows = [summary.row() for summary in result.summaries()]
     print()
     print(format_table(
         list(AlgorithmSummary.ROW_HEADERS), rows,
         title=f"Batch sweep (n={grid.n}, t={grid.t})",
     ))
+    if cache is not None:
+        print(f"\n{cache.describe()}")
     violations = result.violations()
     if args.json:
         result.save(args.json)
@@ -249,6 +308,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--json", default="",
                               help="write all records to this JSON file")
+    sweep_parser.add_argument(
+        "--cache", default="",
+        help="content-addressed result cache directory: repeated "
+             "identical grids only execute cache misses",
+    )
+    sweep_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass --cache (run every case) without editing scripts",
+    )
     return parser
 
 

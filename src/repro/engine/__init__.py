@@ -6,8 +6,11 @@ a ``multiprocessing`` worker pool — by :mod:`repro.engine.runner`, with
 records aggregated into :class:`~repro.engine.results.BatchResult`.
 Parallel and serial execution of the same grid produce identical record
 sequences; see the runner module docstring for the determinism contract.
+A :class:`~repro.engine.cache.ResultCache` can be threaded through the
+runners so repeated grids only execute cache misses.
 """
 
+from repro.engine.cache import ResultCache
 from repro.engine.cases import Case, cases_from
 from repro.engine.grids import (
     DEFAULT_SWEEP_ALGORITHMS,
@@ -35,6 +38,7 @@ __all__ = [
     "GridError",
     "AlgorithmSummary",
     "BatchResult",
+    "ResultCache",
     "DEFAULT_SWEEP_ALGORITHMS",
     "case_seed",
     "cases_from",

@@ -1,0 +1,234 @@
+"""Content-addressed on-disk cache for batch-engine sweep records.
+
+Every case the engine executes is a pure function of *what code ran
+against what input*: the record is fully determined by (algorithm
+implementation, adversary schedule, proposals).  The cache therefore keys
+each :class:`~repro.analysis.sweep.SweepRecord` by SHA-256 over
+
+* the key-scheme version tag (``repro-sweep-cache-v1``),
+* the algorithm's registry name,
+* :func:`repro.algorithms.registry.algorithm_source_hash` — a content
+  hash of the algorithm's transitive module closure (its own module, MRO
+  bases, composed underlying consensus, shared helpers), so editing an
+  algorithm's source invalidates that algorithm's entries and its
+  dependents', and nothing else,
+* a runtime fingerprint — the source closure of the simulation kernel and
+  the metric/record machinery (:mod:`repro.sim.kernel`,
+  :mod:`repro.analysis.metrics`, :mod:`repro.analysis.sweep` and
+  everything they import), so editing how records are *produced*
+  invalidates everything,
+* :meth:`repro.model.schedule.Schedule.digest` — the canonical schedule
+  identity, and
+* the proposals tuple.
+
+Workload labels and case indices are *not* part of the key: two cases
+that run the same code on the same inputs share one entry, and
+:meth:`ResultCache.lookup` re-stamps ``workload`` and ``case_index`` from
+the requesting case so a warm run is byte-identical to a cold one.
+
+Entries are one JSON file each under ``directory/<key[:2]>/<key>.json``,
+written atomically (temp file + ``os.replace``) so concurrent sweeps may
+share a directory.  Corrupted, truncated or version-skewed entries are
+treated as misses and overwritten on the next store — a cache directory
+can always be deleted wholesale without losing anything but time.
+
+Uncacheable cases (explicit in-process factories, whose captured state
+cannot be fingerprinted; or algorithms whose source is unavailable) are
+passed through to the kernel untouched and counted in neither ``hits``
+nor ``misses``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, replace
+from pathlib import Path
+
+from repro.algorithms.registry import (
+    algorithm_source_hash,
+    source_closure_hash,
+)
+from repro.analysis.sweep import SweepRecord
+from repro.engine.cases import Case
+
+#: On-disk entry format version; bumped whenever the entry layout changes.
+ENTRY_VERSION = 1
+
+#: Key-scheme tag mixed into every key; bumped whenever key semantics change.
+KEY_SCHEME = "repro-sweep-cache-v1"
+
+#: Proposal types with stable, canonical ``repr`` across runs and machines.
+#: Anything else (objects with address-bearing default reprs, containers
+#: with unordered iteration) has no reliable fingerprint → uncacheable.
+_KEYABLE_PROPOSAL_TYPES = (int, str, float)
+
+_MISSING = object()
+
+
+def _runtime_source_hash() -> str | None:
+    """Fingerprint of the record-producing machinery every entry depends on.
+
+    Covers the simulation kernel, the consensus-property checkers and the
+    record constructor — plus everything in their import closure (traces,
+    messages, schedules, …) — so a behavioral change anywhere between
+    "case in" and "record out" invalidates the whole cache.
+    """
+    from repro.analysis import metrics, sweep
+    from repro.sim import kernel
+
+    return source_closure_hash([kernel, metrics, sweep])
+
+
+class ResultCache:
+    """A content-addressed cache mapping case keys to sweep records.
+
+    Attributes:
+        directory: root of the on-disk store (created on construction).
+        hits: lookups answered from the store since construction.
+        misses: lookups for cacheable cases that were not in the store.
+        deduped: cases served in-flight from another case in the same
+            batch that shares their content key (no disk lookup involved;
+            counted by the runner).
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.deduped = 0
+        self.store_failures = 0
+        self._runtime_hash = _runtime_source_hash()
+
+    # -- keys --------------------------------------------------------------
+
+    def case_key(self, case: Case) -> str | None:
+        """The content key for *case*, or ``None`` if it is uncacheable.
+
+        Cases carrying an explicit in-process ``factory`` are never cached:
+        the factory's captured state has no reliable fingerprint, and a
+        false hit would silently return another algorithm's record.  The
+        same goes for proposals outside the canonically-``repr``-able
+        types (``Value`` is ``Any``; a default object repr embeds a memory
+        address, which would at best never hit and at worst collide).
+        """
+        if case.factory is not None:
+            return None
+        if self._runtime_hash is None:
+            return None
+        if not all(
+            value is None or isinstance(value, _KEYABLE_PROPOSAL_TYPES)
+            for value in case.proposals
+        ):
+            return None
+        source = algorithm_source_hash(case.algorithm)
+        if source is None:
+            return None
+        payload = "\n".join((
+            KEY_SCHEME,
+            case.algorithm,
+            source,
+            self._runtime_hash,
+            case.schedule.digest(),
+            repr(tuple(case.proposals)),
+        ))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path_for(self, case: Case) -> Path | None:
+        """The on-disk entry path for *case* (``None`` if uncacheable)."""
+        key = self.case_key(case)
+        return None if key is None else self._entry_path(key)
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    # -- lookup / store ----------------------------------------------------
+
+    def lookup(self, case: Case, key=_MISSING) -> SweepRecord | None:
+        """The cached record for *case*, re-stamped with its label and index.
+
+        Returns ``None`` — and counts a miss — when the entry is absent or
+        unreadable (corrupted JSON, wrong version, key mismatch).
+        Uncacheable cases return ``None`` without touching the counters.
+        Callers that already derived the case's key (the runner's
+        partition loop) pass it to skip recomputation.
+        """
+        if key is _MISSING:
+            key = self.case_key(case)
+        if key is None:
+            return None
+        record = self._load(key)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return replace(record, workload=case.workload, case_index=case.index)
+
+    def store(self, case: Case, record: SweepRecord, key=_MISSING) -> None:
+        """Persist *record* under *case*'s key (no-op when uncacheable).
+
+        Write failures (read-only directory, full disk) are swallowed and
+        counted in ``store_failures``: the cache's contract is to cost
+        only time, never to abort a sweep whose compute already happened.
+        A pre-derived *key* may be passed to skip recomputation.
+        """
+        if key is _MISSING:
+            key = self.case_key(case)
+        if key is None:
+            return
+        path = self._entry_path(key)
+        data = {
+            "version": ENTRY_VERSION,
+            "key": key,
+            "algorithm": case.algorithm,
+            "record": asdict(record),
+        }
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(
+                json.dumps(data, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            os.replace(tmp, path)
+        except OSError:
+            self.store_failures += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def _load(self, key: str) -> SweepRecord | None:
+        try:
+            data = json.loads(
+                self._entry_path(key).read_text(encoding="utf-8")
+            )
+            if data.get("version") != ENTRY_VERSION or data.get("key") != key:
+                return None
+            return SweepRecord(**data["record"])
+        except (OSError, ValueError, TypeError, KeyError):
+            return None
+
+    # -- reporting ---------------------------------------------------------
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk."""
+        return sum(1 for _ in self.directory.glob("??/*.json"))
+
+    def describe(self) -> str:
+        """One-line hit/miss summary, e.g. for the sweep CLI.
+
+        Mentions in-batch dedup and store failures only when they occurred
+        — otherwise a persistently unwritable cache would look like an
+        eternally cold one.
+        """
+        extras = ""
+        if self.deduped:
+            extras += f", {self.deduped} deduped"
+        if self.store_failures:
+            extras += f", {self.store_failures} store failures"
+        return (
+            f"cache: {self.hits} hits, {self.misses} misses{extras} "
+            f"({self.directory})"
+        )

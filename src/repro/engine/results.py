@@ -18,7 +18,9 @@ from typing import Iterable, Mapping
 from repro.analysis.sweep import SweepRecord
 from repro.types import Round
 
-FORMAT_VERSION = 1
+#: Bumped with every record-schema change (2: records carry ``case_index``)
+#: so older readers fail with a clean version error, not a TypeError.
+FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -172,8 +174,22 @@ class BatchResult:
 
     @staticmethod
     def merge(results: Iterable["BatchResult"]) -> "BatchResult":
-        """Concatenate several batches (e.g. per-shard results) in order."""
+        """Recombine several batches (e.g. per-shard results) canonically.
+
+        Engine-produced records carry their originating case index
+        (``SweepRecord.case_index``); when every record has one and they
+        are pairwise distinct — the sharding contract: shards of one grid
+        partition its index space — the merged stream is re-sorted by that
+        key, so the result is identical regardless of shard arrival order.
+        Streams without usable indices (hand-built records, pre-engine
+        archives) fall back to plain concatenation order.
+        """
         merged: list[SweepRecord] = []
         for result in results:
             merged.extend(result.records)
+        indices = [record.case_index for record in merged]
+        if all(index >= 0 for index in indices) and len(set(indices)) == len(
+            indices
+        ):
+            merged.sort(key=lambda record: record.case_index)
         return BatchResult(records=tuple(merged))

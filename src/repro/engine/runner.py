@@ -16,23 +16,39 @@ hold:
 * each case runs on the deterministic kernel, so its record is a function
   of the case alone;
 * records are collected as ``(case index, record)`` pairs and re-sorted by
-  index, erasing pool scheduling order.
+  index, erasing pool scheduling order.  Each record also carries its
+  index (``SweepRecord.case_index``), so shard outputs can be recombined
+  canonically by :meth:`~repro.engine.results.BatchResult.merge` in any
+  arrival order.
+
+Passing a :class:`~repro.engine.cache.ResultCache` as ``cache=`` splits
+the cases into hits and misses up front: hits are answered from disk
+(re-stamped with the requesting case's label and index), only misses
+reach the kernel/pool, and freshly-computed records are stored back.
+Because cached records are byte-identical to recomputed ones, a warm
+cache changes nothing but wall-clock time.
 
 Workers resolve automaton factories from the algorithm registry by name,
 so cases stay picklable.  Cases carrying an explicit in-process ``factory``
-(the legacy ``analysis.sweep`` path) are executed serially.
+(the legacy ``analysis.sweep`` path) are executed serially and are never
+cached (see :meth:`~repro.engine.cache.ResultCache.case_key`).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Iterable, Sequence
+from collections import Counter
+from dataclasses import replace
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.analysis.sweep import SweepRecord, run_case
 from repro.engine.cases import Case
-from repro.engine.grids import GridSpec, expand_grid
+from repro.engine.grids import GridError, GridSpec, expand_grid
 from repro.engine.results import BatchResult
+
+if TYPE_CHECKING:
+    from repro.engine.cache import ResultCache
 
 OnRecord = Callable[[int, SweepRecord], None]
 
@@ -41,6 +57,8 @@ def execute_case(case: Case) -> tuple[int, SweepRecord]:
     """Run one case and return its (index, record) pair.
 
     Module-level (not a closure) so the multiprocessing pool can pickle it.
+    The record is stamped with the case's index, making record streams
+    self-describing for order-independent recombination.
     """
     record, _trace = run_case(
         case.algorithm,
@@ -49,7 +67,7 @@ def execute_case(case: Case) -> tuple[int, SweepRecord]:
         case.schedule,
         list(case.proposals),
     )
-    return case.index, record
+    return case.index, replace(record, case_index=case.index)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -71,43 +89,108 @@ def resolve_workers(workers: int | None, n_cases: int) -> int:
     return max(1, min(workers, n_cases))
 
 
+def _check_unique_indices(cases: Sequence[Case]) -> None:
+    """Reject duplicate case indices before anything executes.
+
+    Duplicate indices would make the canonical record order ambiguous and
+    silently corrupt merge keys; the docstring contract has always
+    required uniqueness, so violating it is a :class:`GridError`.
+    """
+    counts = Counter(case.index for case in cases)
+    duplicates = sorted(index for index, count in counts.items() if count > 1)
+    if duplicates:
+        raise GridError(
+            f"duplicate case indices {duplicates}: case indices must be "
+            f"unique — they define the canonical record order"
+        )
+
+
 def run_cases(
-    cases: Sequence[Case],
+    cases: Iterable[Case],
     *,
     workers: int = 1,
     on_record: OnRecord | None = None,
+    cache: "ResultCache | None" = None,
 ) -> list[SweepRecord]:
     """Execute *cases* and return their records in canonical case order.
 
     Args:
         cases: expanded cases; their ``index`` fields define the output
-            order (they need not be contiguous, only unique).
+            order (they need not be contiguous, but must be unique —
+            duplicates raise :class:`GridError`).
         workers: pool size; <= 1 selects the deterministic serial path.
             Cases with explicit in-process factories force the serial path.
         on_record: optional streaming callback, invoked as each record
-            arrives (in completion order, which under a pool is
-            nondeterministic — only the returned list is canonical).
+            arrives — cache hits first (in case order), then executed
+            misses in completion order, which under a pool is
+            nondeterministic.  Only the returned list is canonical.
+        cache: optional :class:`~repro.engine.cache.ResultCache`; hits
+            skip the kernel entirely, misses are executed and stored back.
     """
-    serial_only = any(case.factory is not None for case in cases)
-    workers = resolve_workers(workers, len(cases))
+    cases = list(cases)  # tolerate one-shot iterators: we iterate twice
+    _check_unique_indices(cases)
 
     indexed: list[tuple[int, SweepRecord]] = []
-    if workers <= 1 or serial_only or len(cases) < 2:
+    pending: Sequence[Case] = cases
+    key_by_index: dict[int, str | None] = {}
+    duplicate_of: dict[int, list[Case]] = {}
+    if cache is not None:
+        # Partition into hits, misses, and in-flight duplicates: several
+        # cases sharing one content key (same algorithm/schedule/proposals
+        # under different labels) execute a single representative, whose
+        # record serves the rest re-stamped — each distinct computation
+        # pays the kernel at most once per batch.
+        pending = []
+        seen_keys: dict[str, int] = {}
         for case in cases:
-            pair = execute_case(case)
-            indexed.append(pair)
+            key = cache.case_key(case)
+            if key is not None and key in seen_keys:
+                duplicate_of.setdefault(seen_keys[key], []).append(case)
+                continue
+            record = cache.lookup(case, key)
+            if record is None:
+                if key is not None:
+                    seen_keys[key] = case.index
+                key_by_index[case.index] = key
+                pending.append(case)
+            else:
+                indexed.append((case.index, record))
+                if on_record is not None:
+                    on_record(case.index, record)
+
+    serial_only = any(case.factory is not None for case in pending)
+    workers = resolve_workers(workers, len(pending))
+    by_index = {case.index: case for case in pending}
+
+    def collect(pair: tuple[int, SweepRecord]) -> None:
+        index, record = pair
+        if cache is not None:
+            cache.store(by_index[index], record, key_by_index[index])
+        indexed.append(pair)
+        if on_record is not None:
+            on_record(index, record)
+        for duplicate in duplicate_of.get(index, ()):
+            cache.deduped += 1
+            stamped = replace(
+                record,
+                workload=duplicate.workload,
+                case_index=duplicate.index,
+            )
+            indexed.append((duplicate.index, stamped))
             if on_record is not None:
-                on_record(*pair)
+                on_record(duplicate.index, stamped)
+
+    if workers <= 1 or serial_only or len(pending) < 2:
+        for case in pending:
+            collect(execute_case(case))
     else:
         context = _pool_context()
-        chunksize = max(1, len(cases) // (workers * 4))
+        chunksize = max(1, len(pending) // (workers * 4))
         with context.Pool(processes=workers) as pool:
             for pair in pool.imap_unordered(
-                execute_case, cases, chunksize=chunksize
+                execute_case, pending, chunksize=chunksize
             ):
-                indexed.append(pair)
-                if on_record is not None:
-                    on_record(*pair)
+                collect(pair)
     indexed.sort(key=lambda pair: pair[0])
     return [record for _index, record in indexed]
 
@@ -117,6 +200,7 @@ def run_batch(
     *,
     workers: int = 1,
     on_record: OnRecord | None = None,
+    cache: "ResultCache | None" = None,
 ) -> BatchResult:
     """Expand (if needed) and execute a grid, returning the aggregate result."""
     if isinstance(grid, GridSpec):
@@ -124,5 +208,8 @@ def run_batch(
     else:
         cases = list(grid)
     return BatchResult(
-        records=tuple(run_cases(cases, workers=workers, on_record=on_record))
+        records=tuple(
+            run_cases(cases, workers=workers, on_record=on_record,
+                      cache=cache)
+        )
     )

@@ -25,7 +25,9 @@ Terminology (matching the paper):
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Iterable, Mapping
 
 from repro.errors import ScheduleError
@@ -290,6 +292,42 @@ class Schedule:
 
     def __hash__(self) -> int:
         return hash(self._key())
+
+    def digest(self) -> str:
+        """Stable SHA-256 hex digest of the schedule's canonical identity.
+
+        Two schedules compare equal iff their digests match: the digest
+        hashes a normalized rendering of :meth:`_key` — the same structure
+        that defines equality, with unordered sets flattened to sorted
+        tuples and nested dataclasses (``CrashSpec``) expanded field by
+        field, so any field added to the identity automatically reaches
+        the digest too.  Independent of construction order, process
+        identity and Python hash randomization, this is the schedule
+        component of the batch engine's content-addressed cache keys
+        (:mod:`repro.engine.cache`) and is safe to persist across runs,
+        machines and Python versions.  Memoized per instance (schedules
+        are immutable and shared across a grid's algorithms).
+        """
+        cached = self.__dict__.get("_digest_cache")
+        if cached is not None:
+            return cached
+
+        def normalize(value):
+            if isinstance(value, CrashSpec):
+                return tuple(
+                    normalize(getattr(value, f.name))
+                    for f in dataclass_fields(value)
+                )
+            if isinstance(value, frozenset):
+                return tuple(sorted(value))
+            if isinstance(value, tuple):
+                return tuple(normalize(item) for item in value)
+            return value
+
+        payload = repr(normalize(self._key()))
+        value = hashlib.sha256(payload.encode()).hexdigest()
+        object.__setattr__(self, "_digest_cache", value)
+        return value
 
     def describe(self) -> str:
         """Human-readable multi-line summary, for example scripts and logs."""

@@ -1,0 +1,321 @@
+"""Tests for the content-addressed result cache (repro.engine.cache)."""
+
+import json
+import linecache
+
+import pytest
+
+from repro import ATt2, Schedule
+from repro.algorithms import registry
+from repro.algorithms.registry import (
+    AlgorithmInfo,
+    algorithm_source_hash,
+    clear_source_hash_cache,
+)
+from repro.engine import Case, ResultCache, run_batch, run_cases
+from repro.engine import runner as runner_module
+
+
+def _case(index, algorithm="att2", workload="ff", n=3, t=1, horizon=8,
+          factory=None, proposals=None):
+    return Case(
+        index=index,
+        algorithm=algorithm,
+        workload=workload,
+        schedule=Schedule.failure_free(n, t, horizon),
+        proposals=tuple(proposals if proposals is not None else range(n)),
+        factory=factory,
+    )
+
+
+def _small_batch():
+    return [
+        _case(0, algorithm="att2", workload="att2/ff"),
+        _case(1, algorithm="floodset", workload="floodset/ff"),
+        _case(2, algorithm="att2", workload="att2/ff9", horizon=9),
+    ]
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestSourceHash:
+    def test_stable_and_memoized(self):
+        clear_source_hash_cache()
+        first = algorithm_source_hash("att2")
+        assert first is not None and len(first) == 64
+        assert algorithm_source_hash("att2") == first
+
+    def test_distinct_per_algorithm(self):
+        hashes = {
+            algorithm_source_hash(name)
+            for name in ("att2", "att2_optimized", "floodset", "adiamond_s")
+        }
+        assert len(hashes) == 4
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            algorithm_source_hash("nope")
+
+    def test_fingerprint_covers_composed_dependencies(self):
+        # att2 delegates to an underlying consensus (Chandra-Toueg by
+        # default) and to suspicion-tracking helpers; editing either must
+        # invalidate att2's entries, so both belong to its module closure.
+        names = {
+            module.__name__
+            for module in registry._source_modules(
+                registry._entries()["att2"]
+            )
+        }
+        assert "repro.algorithms.chandra_toueg" in names
+        assert "repro.algorithms.suspicion" in names
+        assert "repro.algorithms.base" in names
+
+    def test_subclass_fingerprint_covers_parent_module(self):
+        names = {
+            module.__name__
+            for module in registry._source_modules(
+                registry._entries()["att2_optimized"]
+            )
+        }
+        assert "repro.core.att2" in names
+
+
+class TestCaseKey:
+    def test_key_is_content_addressed(self, cache):
+        assert cache.case_key(_case(0)) == cache.case_key(
+            _case(7, workload="other-label")
+        )
+
+    def test_key_varies_with_inputs(self, cache):
+        base = cache.case_key(_case(0))
+        assert cache.case_key(_case(0, algorithm="floodset")) != base
+        assert cache.case_key(_case(0, horizon=9)) != base
+        assert cache.case_key(_case(0, proposals=(9, 9, 9))) != base
+
+    def test_explicit_factory_is_uncacheable(self, cache):
+        case = _case(0, factory=ATt2.factory())
+        assert cache.case_key(case) is None
+        assert cache.lookup(case) is None
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_non_primitive_proposals_are_uncacheable(self, cache):
+        # Value is Any; a default object repr embeds a memory address, so
+        # such proposals have no stable fingerprint and must never key.
+        case = _case(0, proposals=(object(), 1, 2))
+        assert cache.case_key(case) is None
+        assert cache.case_key(_case(0, proposals=(0, "a", 1.5))) is not None
+
+
+class TestHitMissPartitioning:
+    def test_cold_then_warm(self, cache):
+        cases = _small_batch()
+        cold = run_cases(cases, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 3)
+        assert cache.entry_count() == 3
+
+        warm = run_cases(cases, cache=cache)
+        assert (cache.hits, cache.misses) == (3, 3)
+        assert warm == cold
+        assert warm == run_cases(cases)  # cache changes nothing but time
+
+    def test_hit_restamps_label_and_index(self, cache):
+        run_cases([_case(0, workload="first-label")], cache=cache)
+        (record,) = run_cases(
+            [_case(5, workload="second-label")], cache=cache
+        )
+        assert cache.hits == 1
+        assert record.workload == "second-label"
+        assert record.case_index == 5
+
+    def test_warm_run_executes_zero_cases(self, cache, monkeypatch):
+        cases = _small_batch()
+        cold = run_cases(cases, cache=cache)
+
+        def boom(case):
+            raise AssertionError(f"kernel executed case {case.index}")
+
+        monkeypatch.setattr(runner_module, "execute_case", boom)
+        assert run_cases(cases, cache=cache) == cold
+
+    def test_partial_warmth_executes_only_misses(self, cache, monkeypatch):
+        cases = _small_batch()
+        run_cases(cases[:1], cache=cache)
+        executed = []
+        real = runner_module.execute_case
+        monkeypatch.setattr(
+            runner_module, "execute_case",
+            lambda case: executed.append(case.index) or real(case),
+        )
+        run_cases(cases, cache=cache)
+        assert executed == [1, 2]
+
+    def test_on_record_streams_hits_and_misses(self, cache):
+        cases = _small_batch()
+        run_cases(cases[:2], cache=cache)
+        seen = []
+        run_cases(cases, cache=cache,
+                  on_record=lambda index, record: seen.append(index))
+        assert sorted(seen) == [0, 1, 2]
+
+    def test_identical_cases_in_one_batch_execute_once(
+        self, cache, monkeypatch
+    ):
+        # Same (algorithm, schedule, proposals) under different labels:
+        # one kernel execution serves all of them, re-stamped.
+        cases = [
+            _case(0, workload="baseline"),
+            _case(1, workload="repeat-a"),
+            _case(2, workload="repeat-b"),
+        ]
+        executed = []
+        real = runner_module.run_case
+        monkeypatch.setattr(
+            runner_module, "run_case",
+            lambda *args: executed.append(args[0]) or real(*args),
+        )
+        records = run_cases(cases, cache=cache)
+        assert executed == ["att2"]
+        assert [r.workload for r in records] == [
+            "baseline", "repeat-a", "repeat-b"
+        ]
+        assert [r.case_index for r in records] == [0, 1, 2]
+        # Served-in-flight cases are dedup, not disk hits: a cold run
+        # keeps its "0 hits" invariant (the CI lane greps for it).
+        assert (cache.hits, cache.misses, cache.deduped) == (0, 1, 2)
+        assert "2 deduped" in cache.describe()
+
+    def test_wrappers_cache_registry_named_cases(self, cache):
+        from repro.analysis.sweep import sweep, worst_case_round
+
+        schedule = Schedule.failure_free(3, 1, 8)
+        worst, witness = worst_case_round(
+            "att2", [("ff", schedule)], (0, 1, 2), cache=cache
+        )
+        assert (worst, witness) == (3, "ff")
+        assert (cache.hits, cache.misses) == (0, 1)
+        worst_case_round("att2", [("ff", schedule)], (0, 1, 2), cache=cache)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+        records = sweep(
+            [("att2", None, "ff", schedule, (0, 1, 2))], cache=cache
+        )
+        assert records[0].global_round == 3
+        assert cache.hits == 2  # registry-resolved, so the entry hit again
+
+
+class TestInvalidation:
+    def test_source_change_invalidates_only_that_algorithm(
+        self, cache, monkeypatch
+    ):
+        cases = _small_batch()
+        run_cases(cases, cache=cache)
+        # Simulate an edit to att2's implementation: its memoized source
+        # fingerprint changes, floodset's does not.
+        monkeypatch.setitem(
+            registry._SOURCE_HASH_CACHE, "att2", "0" * 64
+        )
+        run_cases(cases, cache=cache)
+        assert cache.hits == 1  # floodset only
+        assert cache.misses == 3 + 2  # cold run + both att2 cases
+
+    def test_editing_module_file_invalidates_entries(
+        self, cache, tmp_path, monkeypatch
+    ):
+        """End-to-end: rewrite a registered algorithm's module on disk."""
+        import importlib.util
+        import sys
+
+        source = (
+            "from repro.core.att2 import ATt2\n"
+            "_build = ATt2.factory()\n"
+            "def factory(pid, n, t, proposal):\n"
+            "    return _build(pid, n, t, proposal)\n"
+            "def make():\n"
+            "    return factory\n"
+            "# revision: {rev}\n"
+        )
+        path = tmp_path / "fake_alg_mod.py"
+        path.write_text(source.format(rev="A"))
+        spec = importlib.util.spec_from_file_location("fake_alg_mod", path)
+        module = importlib.util.module_from_spec(spec)
+        monkeypatch.setitem(sys.modules, "fake_alg_mod", module)
+        spec.loader.exec_module(module)
+
+        entries = dict(registry._entries())
+        entries["fake_alg"] = AlgorithmInfo(
+            "fake_alg", "ES", module.make, "test-only wrapper around att2"
+        )
+        monkeypatch.setattr(registry, "_entries", lambda: entries)
+        clear_source_hash_cache()
+
+        cases = [_case(0, algorithm="fake_alg"), _case(1, algorithm="att2")]
+        run_cases(cases, cache=cache)
+        run_cases(cases, cache=cache)
+        assert (cache.hits, cache.misses) == (2, 2)
+
+        path.write_text(source.format(rev="B"))
+        linecache.clearcache()
+        clear_source_hash_cache()
+        run_cases(cases, cache=cache)
+        # fake_alg missed (source changed), att2 still hit.
+        assert (cache.hits, cache.misses) == (3, 3)
+        clear_source_hash_cache()
+
+
+class TestCorruptionRecovery:
+    def test_corrupted_entry_is_a_miss_and_heals(self, cache):
+        cases = _small_batch()
+        cold = run_cases(cases, cache=cache)
+        cache.path_for(cases[0]).write_text("{not json")
+        assert run_cases(cases, cache=cache) == cold
+        assert cache.misses == 3 + 1
+        run_cases(cases, cache=cache)
+        assert cache.hits == 2 + 3  # healed: third run is all hits
+
+    def test_store_failure_never_aborts_a_sweep(self, cache, monkeypatch):
+        # The cache costs only time: an unwritable store (read-only dir,
+        # full disk) is counted, not raised.
+        import repro.engine.cache as cache_module
+
+        def refuse(src, dst):
+            raise OSError("read-only file system")
+
+        monkeypatch.setattr(cache_module.os, "replace", refuse)
+        cases = _small_batch()
+        records = run_cases(cases, cache=cache)
+        assert len(records) == 3
+        assert cache.store_failures == 3
+        assert cache.entry_count() == 0
+        assert "3 store failures" in cache.describe()
+
+    def test_version_or_key_skew_is_a_miss(self, cache):
+        case = _case(0)
+        run_cases([case], cache=cache)
+        path = cache.path_for(case)
+        data = json.loads(path.read_text())
+        data["version"] = 999
+        path.write_text(json.dumps(data))
+        run_cases([case], cache=cache)
+        assert cache.misses == 2
+
+
+class TestColdWarmIdenticalJson:
+    def test_parallel_cold_and_warm_byte_identical(self, cache):
+        cases = [
+            _case(i, algorithm=name, workload=f"{name}/ff{h}", horizon=h)
+            for i, (name, h) in enumerate(
+                (name, h)
+                for name in ("att2", "floodset", "hurfin_raynal")
+                for h in (8, 9, 10, 11)
+            )
+        ]
+        uncached = run_batch(cases, workers=4)
+        cold = run_batch(cases, workers=4, cache=cache)
+        warm = run_batch(cases, workers=4, cache=cache)
+        assert cache.misses == len(cases)
+        assert cache.hits == len(cases)
+        assert cold.to_json() == uncached.to_json()
+        assert warm.to_json() == cold.to_json()

@@ -9,6 +9,7 @@ from repro.analysis.sweep import SweepRecord
 from repro.engine import (
     BatchResult,
     Case,
+    GridError,
     GridSpec,
     family,
     resolve_workers,
@@ -68,6 +69,20 @@ class TestRunCases:
     def test_record_carries_horizon(self):
         (record,) = run_cases([_case(0, horizon=9)])
         assert record.horizon == 9
+
+    def test_record_carries_case_index(self):
+        records = run_cases([_case(3), _case(7)])
+        assert [r.case_index for r in records] == [3, 7]
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(GridError, match="duplicate case indices"):
+            run_cases([_case(0), _case(1), _case(0)])
+
+    def test_accepts_one_shot_iterators(self):
+        # run_cases iterates twice (validation, then partition/execute);
+        # a generator argument must not silently yield an empty result.
+        records = run_cases(_case(i) for i in range(3))
+        assert len(records) == 3
 
 
 class TestResolveWorkers:
@@ -163,11 +178,42 @@ class TestBatchResult:
         with pytest.raises(ValueError, match="version"):
             BatchResult.from_data({"version": 99, "records": []})
 
+    def test_from_data_rejects_pre_case_index_archives(self):
+        # Version 1 records lack case_index; the guard must fail cleanly
+        # rather than half-loading an old archive.
+        with pytest.raises(ValueError, match="version"):
+            BatchResult.from_data({"version": 1, "records": []})
+
     def test_merge(self):
         a, b = self._result(), self._result()
         merged = BatchResult.merge([a, b])
         assert merged.case_count == a.case_count + b.case_count
         assert merged.records[:3] == a.records
+
+    def test_merge_shuffled_shards_is_canonical(self):
+        # The determinism contract: per-shard results recombine into the
+        # same stream regardless of shard arrival order, because records
+        # carry their originating case index.
+        cases = [_case(i, workload=f"w{i}") for i in range(6)]
+        full = run_batch(cases)
+        shards = [run_batch([case]) for case in cases]
+        for order in ((4, 0, 5, 2, 1, 3), (5, 4, 3, 2, 1, 0)):
+            merged = BatchResult.merge(shards[i] for i in order)
+            assert merged == full
+            assert merged.to_json() == full.to_json()
+
+    def test_merge_without_indices_keeps_concatenation_order(self):
+        def record(workload):
+            return SweepRecord(
+                algorithm="a", workload=workload, n=3, t=1, crashes=0,
+                sync_from=1, global_round=3, first_round=3, deciders=3,
+                agreement_ok=True, validity_ok=True, messages=9, horizon=8,
+            )
+
+        a = BatchResult(records=(record("w1"),))
+        b = BatchResult(records=(record("w0"),))
+        merged = BatchResult.merge([a, b])
+        assert [r.workload for r in merged.records] == ["w1", "w0"]
 
 
 class TestCasesFrom:

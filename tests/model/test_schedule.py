@@ -241,3 +241,50 @@ class TestScheduleIdentity:
         text = builder.build().describe()
         assert "p0 crashes in round 2" in text
         assert "delay" in text
+
+
+class TestScheduleDigest:
+    def test_equal_schedules_share_a_digest(self):
+        a = Schedule.synchronous(3, 1, 5, crashes={0: (1, [1])})
+        b = Schedule.synchronous(3, 1, 5, crashes={0: (1, [1])})
+        assert a.digest() == b.digest()
+        assert len(a.digest()) == 64
+
+    def test_digest_separates_unequal_schedules(self):
+        base = Schedule.failure_free(3, 1, 5)
+        assert base.digest() != Schedule.failure_free(3, 1, 6).digest()
+        assert base.digest() != Schedule.failure_free(4, 1, 5).digest()
+        crashy = Schedule.synchronous(3, 1, 5, crashes={0: (1, [1])})
+        assert base.digest() != crashy.digest()
+
+    def test_digest_independent_of_construction_order(self):
+        forward = ScheduleBuilder(4, 1, 8)
+        forward.delay(0, 1, 1, 3).delay(2, 3, 2, 4).lose(1, 2, 1)
+        backward = ScheduleBuilder(4, 1, 8)
+        backward.lose(1, 2, 1).delay(2, 3, 2, 4).delay(0, 1, 1, 3)
+        assert forward.build().digest() == backward.build().digest()
+
+    def test_digest_is_stable_across_runs(self):
+        # Pinned value: the digest is persisted in on-disk cache keys, so
+        # it must never drift across processes or Python versions.
+        assert Schedule.failure_free(3, 1, 8).digest() == (
+            "e4e2589bc8bc2deb4fb880b2dbed19bf781ae997757f0545138d47fc4031a035"
+        )
+
+    def test_digest_covers_every_crash_spec_field(self):
+        # The digest is derived from _key() via a generic normalizer, so
+        # every way two CrashSpecs can differ must separate the digests.
+        def crashed(**kwargs):
+            return Schedule(
+                n=4, t=2, horizon=8, crashes={0: CrashSpec(**kwargs)}
+            )
+
+        variants = [
+            crashed(round=2),
+            crashed(round=3),
+            crashed(round=2, delivered_same_round=frozenset({1})),
+            crashed(round=2, delayed=((1, 4),)),
+            crashed(round=2, delayed=((1, 5),)),
+        ]
+        digests = [schedule.digest() for schedule in variants]
+        assert len(set(digests)) == len(digests)

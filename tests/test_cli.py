@@ -48,6 +48,14 @@ class TestRun:
                 "run", "--n", "3", "--t", "1", "--proposals", "1,2",
             ])
 
+    def test_non_integer_proposals_exit_cleanly(self):
+        # A typo'd proposal list must produce the clean SystemExit message,
+        # not a raw ValueError traceback.
+        with pytest.raises(SystemExit, match="comma-separated integers"):
+            main([
+                "run", "--n", "3", "--t", "1", "--proposals", "1,x,3",
+            ])
+
     def test_unknown_workload(self):
         with pytest.raises(SystemExit, match="unknown workload"):
             main(["run", "--workload", "nope"])
@@ -115,3 +123,65 @@ class TestSweep:
         cases = int(first_line.split()[1])
         assert cases >= 100
         assert "5 algorithms" in first_line
+
+    def test_unwritable_json_path_fails_before_running(self, monkeypatch):
+        # The output path is validated before any case executes, so a typo
+        # cannot cost a full grid of compute.
+        import repro.engine
+
+        def boom(*args, **kwargs):
+            raise AssertionError("grid executed despite bad --json path")
+
+        monkeypatch.setattr(repro.engine, "run_batch", boom)
+        with pytest.raises(SystemExit, match="cannot write --json"):
+            main(self.ARGS + ["--json", "/nonexistent-dir/sweep.json"])
+
+
+class TestSweepCache:
+    ARGS = [
+        "sweep", "--cases-per-family", "2", "--seed", "3",
+        "--algorithms", "att2,floodset", "--workers", "4",
+    ]
+
+    def _run(self, capsys, extra):
+        assert main(self.ARGS + extra) == 0
+        return capsys.readouterr().out
+
+    def test_cold_then_warm_is_all_hits_and_byte_identical(
+        self, capsys, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        cold_json = tmp_path / "cold.json"
+        warm_json = tmp_path / "warm.json"
+        cold = self._run(
+            capsys, ["--cache", cache_dir, "--json", str(cold_json)]
+        )
+        warm = self._run(
+            capsys, ["--cache", cache_dir, "--json", str(warm_json)]
+        )
+        cases = int(cold.splitlines()[0].split()[1])
+        assert f"cache: 0 hits, {cases} misses" in cold
+        assert f"cache: {cases} hits, 0 misses" in warm
+        assert cold_json.read_bytes() == warm_json.read_bytes()
+
+    def test_cache_output_matches_uncached(self, capsys, tmp_path):
+        cached_json = tmp_path / "cached.json"
+        plain_json = tmp_path / "plain.json"
+        self._run(capsys, ["--cache", str(tmp_path / "cache"),
+                           "--json", str(cached_json)])
+        self._run(capsys, ["--json", str(plain_json)])
+        assert cached_json.read_bytes() == plain_json.read_bytes()
+
+    def test_no_cache_bypasses(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        self._run(capsys, ["--cache", cache_dir])
+        out = self._run(capsys, ["--cache", cache_dir, "--no-cache"])
+        assert "cache:" not in out
+
+    def test_unusable_cache_dir_fails_cleanly(self, tmp_path):
+        # A file where the cache directory should go: clean SystemExit,
+        # not a Path.mkdir traceback.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        with pytest.raises(SystemExit, match="cannot use --cache"):
+            main(self.ARGS + ["--cache", str(blocker)])
