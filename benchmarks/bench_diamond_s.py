@@ -14,7 +14,7 @@ from repro.detectors import EventuallyStrong, simulate_from_schedule
 from repro.engine import cases_from, run_batch
 from repro.workloads import coordinator_killer
 
-from conftest import emit, shared_cache
+from conftest import bench_executor, emit, shared_cache
 
 RESILIENCES = [1, 2, 3, 4]
 
@@ -26,7 +26,7 @@ def head_to_head():
          coordinator_killer(n, t, 2 * t + 6, rounds_per_cycle=2), range(n))
         for n, t in systems
         for algorithm in ("adiamond_s", "hurfin_raynal")
-    ), cache=shared_cache())
+    ), executor=bench_executor(), cache=shared_cache())
     rows = []
     for n, t in systems:
         asd = result.find("adiamond_s", f"killer/t{t}")

@@ -19,7 +19,7 @@ from repro.engine.grids import expand_family
 from repro.sim.random_schedules import random_proposals
 from repro.workloads import async_prefix
 
-from conftest import emit, shared_cache
+from conftest import bench_executor, emit, shared_cache
 
 N, T = 7, 2
 POINTS = [(k, f) for k in (0, 2, 4) for f in (0, 1, 2)]
@@ -31,7 +31,7 @@ def eventual_fast_rows():
          async_prefix(N, T, k + f + 10, k=k, crashes_after=f), range(N))
         for k, f in POINTS
         for algorithm in ("afp2", "amr_leader")
-    ), cache=shared_cache())
+    ), executor=bench_executor(), cache=shared_cache())
     rows = []
     for k, f in POINTS:
         afp2 = result.find("afp2", f"k{k}f{f}")
@@ -73,7 +73,7 @@ def test_crash_heavy_synchronous_tail(benchmark):
             ("afp2", f"k{k}",
              async_prefix(N, T, k + T + 10, k=k, crashes_after=T), range(N))
             for k in (0, 3)
-        ))
+        ), executor=bench_executor())
         return [
             (k, T, result.find("afp2", f"k{k}").global_round, k + T + 2)
             for k in (0, 3)
@@ -96,7 +96,7 @@ def test_termination_from_any_prefix(benchmark):
         result = run_batch(cases_from(
             ("afp2", label, schedule, random_proposals(N, i))
             for i, (label, schedule) in enumerate(instances)
-        ))
+        ), executor=bench_executor())
         return [
             record.workload
             for record in result.records

@@ -18,7 +18,7 @@ from repro.engine import cases_from, family, run_batch
 from repro.engine.grids import expand_family
 from repro.workloads import serial_cascade
 
-from conftest import emit, shared_cache
+from conftest import bench_executor, emit, shared_cache
 
 SYSTEMS = [(3, 1), (5, 2), (7, 3), (9, 4)]
 
@@ -32,7 +32,8 @@ def optimization_rows():
             yield ("att2_optimized", f"ff/n{n}", ff, range(n))
             yield ("att2_optimized", f"cascade/n{n}", crashy, range(n))
 
-    result = run_batch(cases_from(entries()), cache=shared_cache())
+    result = run_batch(cases_from(entries()), executor=bench_executor(),
+                       cache=shared_cache())
     rows = []
     for n, t in SYSTEMS:
         rows.append(
@@ -76,7 +77,7 @@ def test_optimization_never_violates_safety(benchmark):
         result = run_batch(cases_from(
             ("att2_optimized", label, schedule, (3, 1, 4, 1, 5))
             for label, schedule in instances
-        ))
+        ), executor=bench_executor())
         return [
             record.workload
             for record in result.records

@@ -21,7 +21,7 @@ from repro.analysis.tables import format_table
 from repro.engine import cases_from, run_batch
 from repro.workloads import coordinator_killer, serial_cascade, value_hiding_chain
 
-from conftest import emit, shared_cache
+from conftest import bench_executor, emit, shared_cache
 
 N, T = 5, 2
 HORIZON = 24
@@ -50,7 +50,7 @@ def price_table():
         (name, workload, schedule, range(N))
         for name, _label, _expected in ALGORITHMS
         for workload, schedule in synchronous_workloads()
-    ), cache=shared_cache())
+    ), executor=bench_executor(), cache=shared_cache())
     rows = []
     for name, label, expected in ALGORITHMS:
         worst, witness = result.worst_case(name)

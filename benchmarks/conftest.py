@@ -40,6 +40,20 @@ def shared_cache():
     return _CACHE
 
 
+def bench_executor():
+    """The execution backend the comparison benches run on.
+
+    Explicitly the serial backend: the benches time the kernel and the
+    engine's bookkeeping, and a pool would fold nondeterministic IPC
+    overhead into pytest-benchmark's numbers.  Centralized here so a
+    future profiling lane can flip every bench onto another backend at
+    once.
+    """
+    from repro.engine import SerialExecutor
+
+    return SerialExecutor()
+
+
 def emit(table: str) -> None:
     """Print an experiment table (flushes so tables interleave sanely)."""
     print("\n" + table, file=sys.stderr, flush=True)

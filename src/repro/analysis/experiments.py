@@ -28,12 +28,17 @@ Table = tuple[str, list[str], list[tuple]]
 def _batch(
     entries: Iterable[tuple[str, str, Schedule, Sequence[int]]],
     *,
-    workers: int = 1,
+    executor=None,
 ):
-    """Run ``(algorithm, workload, schedule, proposals)`` entries as a batch."""
+    """Run ``(algorithm, workload, schedule, proposals)`` entries as a batch.
+
+    ``executor`` is an engine execution backend
+    (:mod:`repro.engine.executors`); the default serial backend keeps the
+    compact tables deterministic and overhead-free.
+    """
     from repro.engine import cases_from, run_batch
 
-    return run_batch(cases_from(entries), workers=workers)
+    return run_batch(cases_from(entries), executor=executor)
 
 
 def price_of_indulgence(n: int = 5, t: int = 2) -> Table:

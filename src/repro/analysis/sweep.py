@@ -121,20 +121,23 @@ def sweep(
         tuple[str, AlgorithmFactory | None, str, Schedule, Sequence[Value]]
     ],
     *,
+    executor=None,
     cache=None,
 ) -> list[SweepRecord]:
     """Run every case on the engine and return the records in input order.
 
-    ``cache`` is forwarded to the engine
-    (:class:`~repro.engine.cache.ResultCache`).  A case's factory may be
-    ``None``, in which case its algorithm name is resolved from the
-    registry inside the engine — that is also what makes the case
-    cacheable: explicit factories have no reliable code fingerprint, so
-    the cache declines to key them.
+    ``executor`` selects the execution backend
+    (:mod:`repro.engine.executors`; default serial) and ``cache`` is
+    forwarded to the engine (:class:`~repro.engine.cache.ResultCache`).
+    A case's factory may be ``None``, in which case its algorithm name is
+    resolved from the registry inside the engine — that is also what
+    makes the case cacheable: explicit factories have no reliable code
+    fingerprint, so the cache declines to key them (and they force
+    process-pool executors onto their serial fallback).
     """
     from repro.engine.runner import run_cases
 
-    return run_cases(_as_cases(cases), cache=cache)
+    return run_cases(_as_cases(cases), executor=executor, cache=cache)
 
 
 def worst_case_round(
@@ -142,6 +145,7 @@ def worst_case_round(
     schedules: Iterable[tuple[str, Schedule]],
     proposals: Sequence[Value],
     *,
+    executor=None,
     cache=None,
 ) -> tuple[Round, str]:
     """The maximum global decision round over the schedules, with its witness.
@@ -152,7 +156,8 @@ def worst_case_round(
     ``factory`` may be a registry name instead of a factory callable; the
     engine then resolves it by name, which also makes the cases eligible
     for the forwarded ``cache`` (explicit factory callables never are —
-    their captured state has no reliable fingerprint).
+    their captured state has no reliable fingerprint).  ``executor``
+    selects the execution backend (default serial).
     """
     from repro.engine.results import BatchResult
     from repro.engine.runner import run_cases
@@ -165,5 +170,7 @@ def worst_case_round(
         (algorithm, explicit, name, schedule, proposals)
         for name, schedule in schedules
     )
-    result = BatchResult(records=tuple(run_cases(cases, cache=cache)))
+    result = BatchResult(
+        records=tuple(run_cases(cases, executor=executor, cache=cache))
+    )
     return result.worst_case(algorithm)

@@ -7,8 +7,14 @@ Commands:
   optionally as a space-time diagram.
 * ``experiments`` — print the compact experiment tables (the full,
   asserted versions live in ``benchmarks/``).
-* ``sweep`` — expand a declarative case grid and execute it on the batch
-  engine (:mod:`repro.engine`), optionally across a worker pool.
+* ``sweep`` — execute a declarative case grid (stock, or loaded from a
+  versioned ``--grid`` JSON file) on the batch engine
+  (:mod:`repro.engine`), on a selectable execution backend, optionally
+  as one shard of a distributed run.
+* ``merge`` — recombine per-shard ``--json`` exports into the
+  whole-grid result.
+* ``cache stats`` — inspect a result-cache directory (entries, bytes,
+  lifetime hit rate).
 
 Examples::
 
@@ -20,6 +26,11 @@ Examples::
     python -m repro sweep --algorithms att2,hurfin_raynal \
         --n 7 --t 3 --cases-per-family 40 --seed 7
     python -m repro sweep --cache .sweep-cache --workers 4
+    python -m repro sweep --save-grid grid.json
+    python -m repro sweep --grid grid.json --backend threads \
+        --shard 0/2 --json shard0.json
+    python -m repro merge shard0.json shard1.json --json whole.json
+    python -m repro cache stats .sweep-cache
 
 The ``sweep`` grid schema
 -------------------------
@@ -44,11 +55,26 @@ A grid (:class:`repro.engine.grids.GridSpec`) is the cross product
 The CLI exposes the stock grid of
 :func:`repro.engine.grids.default_sweep_grid` — seeded ES/SCS/serial
 families plus the five structured workloads of experiment E5 — sized by
-``--cases-per-family``; bespoke grids are a few lines of Python against
-:mod:`repro.engine`.  Expansion is a pure function of the spec, records
-are re-sorted into expansion order after execution, and ``--workers N``
-therefore yields byte-identical output to serial execution — any
-``--json`` export of the same grid and seed diffs empty.
+``--cases-per-family``.  ``--save-grid grid.json`` writes the grid being
+run as a versioned JSON file and ``--grid grid.json`` runs one, so
+experiment definitions can be shared and diffed without touching Python
+(the file round-trips ``GridSpec.to_data``/``from_data`` losslessly).
+
+Backends and shards
+-------------------
+
+``--backend`` picks the execution backend (:mod:`repro.engine.executors`):
+``processes`` (default; ``--workers N`` sizes the pool, omit to
+auto-size), ``threads``, or ``serial``.  Expansion is a pure function of
+the spec, records are re-sorted into expansion order after execution, and
+every backend therefore yields byte-identical output — any ``--json``
+export of the same grid and seed diffs empty.
+
+``--shard I/N`` runs only the cases with ``index % N == I``, so N
+machines can split one grid file without coordination; each shard's
+``--json`` export carries its case indices, and ``repro merge`` (or
+:meth:`repro.engine.results.BatchResult.merge`) recombines the exports —
+in any order — into output byte-identical to the unsharded run.
 
 The ``sweep`` result cache
 --------------------------
@@ -160,19 +186,20 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _ensure_writable(path: str) -> None:
+def _ensure_writable(path: str, flag: str = "--json") -> None:
     """Fail fast if *path* cannot be written — before minutes of compute.
 
     Opens in append mode so an existing export is never truncated; a file
     the probe itself created is removed again, so a sweep that later fails
-    leaves no misleading empty export behind.
+    leaves no misleading empty export behind.  *flag* names the offending
+    option in the error message.
     """
     existed = os.path.exists(path)
     try:
         with open(path, "a", encoding="utf-8"):
             pass
     except OSError as exc:
-        raise SystemExit(f"cannot write --json output {path!r}: {exc}")
+        raise SystemExit(f"cannot write {flag} output {path!r}: {exc}")
     if not existed:
         try:
             os.remove(path)
@@ -180,19 +207,116 @@ def _ensure_writable(path: str) -> None:
             pass
 
 
+def _parse_workers(args) -> int | None:
+    """The validated ``--workers`` value (``None`` = auto-size).
+
+    Explicit non-positive counts are rejected up front with a clean
+    message; historically ``--workers 0`` silently meant "auto", which
+    made typos indistinguishable from intent.
+    """
+    if args.workers is None:
+        return None
+    if args.workers < 1:
+        raise SystemExit(
+            f"--workers must be >= 1, got {args.workers} "
+            f"(omit the flag to auto-size)"
+        )
+    return args.workers
+
+
+def _parse_shard(args):
+    """The validated ``--shard`` spec, or ``None``."""
+    from repro.engine import GridError, ShardSpec
+
+    if not args.shard:
+        return None
+    try:
+        return ShardSpec.parse(args.shard)
+    except GridError as exc:
+        raise SystemExit(f"invalid --shard: {exc}")
+
+
+#: Grid-shaping sweep flags, every one defaulting to ``None`` in the
+#: parser so "explicitly passed" is detectable — a grid file defines the
+#: whole experiment, and silently ignoring an explicit flag next to
+#: ``--grid`` would let someone believe they swept a seed they didn't.
+_GRID_SHAPE_FLAGS = (
+    ("--n", "n"),
+    ("--t", "t"),
+    ("--algorithms", "algorithms"),
+    ("--cases-per-family", "cases_per_family"),
+    ("--seed", "seed"),
+    ("--proposals-mode", "proposals_mode"),
+)
+
+
+def _load_grid(args):
+    """The grid to sweep: ``--grid FILE``, or the stock grid from flags."""
+    from repro.engine import GridError, GridSpec, default_sweep_grid
+    from repro.engine.grids import DEFAULT_SWEEP_ALGORITHMS
+
+    if args.grid:
+        explicit = [
+            flag for flag, attr in _GRID_SHAPE_FLAGS
+            if getattr(args, attr) is not None
+        ]
+        if explicit:
+            raise SystemExit(
+                f"--grid and {', '.join(explicit)} are mutually exclusive: "
+                f"the grid file already defines the experiment"
+            )
+        try:
+            return GridSpec.load(args.grid)
+        except OSError as exc:
+            raise SystemExit(f"cannot read --grid {args.grid!r}: {exc}")
+        except GridError as exc:
+            raise SystemExit(f"invalid --grid {args.grid!r}: {exc}")
+    algorithms = (
+        tuple(name.strip() for name in args.algorithms.split(",") if name)
+        if args.algorithms
+        else DEFAULT_SWEEP_ALGORITHMS
+    )
+    return default_sweep_grid(
+        args.n if args.n is not None else 5,
+        args.t if args.t is not None else 2,
+        seed=args.seed if args.seed is not None else 0,
+        algorithms=algorithms,
+        cases_per_family=(
+            args.cases_per_family
+            if args.cases_per_family is not None
+            else 12
+        ),
+        proposal_mode=args.proposals_mode or "random",
+    )
+
+
 def _cmd_sweep(args) -> int:
     from repro.engine import (
         AlgorithmSummary,
+        ExecutorError,
         ResultCache,
-        default_sweep_grid,
         expand_grid,
+        resolve_executor,
         run_batch,
     )
-    from repro.engine.grids import DEFAULT_SWEEP_ALGORITHMS
-    from repro.engine.runner import resolve_workers
 
+    workers = _parse_workers(args)
+    shard = _parse_shard(args)
+    grid = _load_grid(args)
+    try:
+        executor = resolve_executor(args.backend, workers=workers)
+    except ExecutorError as exc:
+        raise SystemExit(str(exc))
     if args.json:
         _ensure_writable(args.json)
+    if args.save_grid:
+        _ensure_writable(args.save_grid, flag="--save-grid")
+        try:
+            grid.save(args.save_grid)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot write --save-grid {args.save_grid!r}: {exc}"
+            )
     cache = None
     if args.cache and not args.no_cache:
         try:
@@ -202,27 +326,18 @@ def _cmd_sweep(args) -> int:
                 f"cannot use --cache directory {args.cache!r}: {exc}"
             )
 
-    algorithms = (
-        tuple(name.strip() for name in args.algorithms.split(",") if name)
-        if args.algorithms
-        else DEFAULT_SWEEP_ALGORITHMS
-    )
-    grid = default_sweep_grid(
-        args.n,
-        args.t,
-        seed=args.seed,
-        algorithms=algorithms,
-        cases_per_family=args.cases_per_family,
-        proposal_mode=args.proposals_mode,
-    )
     cases = expand_grid(grid)
-    workers = resolve_workers(args.workers, len(cases))
+    if shard is not None:
+        cases = shard.select(cases)
+        sharding = f", {shard.describe()} of {grid.case_count}"
+    else:
+        sharding = ""
     print(
-        f"sweep: {len(cases)} cases ({len(algorithms)} algorithms x "
-        f"{sum(f.count for f in grid.families)} schedules), "
-        f"seed={args.seed}, workers={workers}"
+        f"sweep: {len(cases)} cases ({len(grid.algorithms)} algorithms x "
+        f"{sum(f.count for f in grid.families)} schedules{sharding}), "
+        f"seed={grid.seed}, backend={executor.name}"
     )
-    result = run_batch(cases, workers=workers, cache=cache)
+    result = run_batch(cases, executor=executor, cache=cache)
     rows = [summary.row() for summary in result.summaries()]
     print()
     print(format_table(
@@ -231,6 +346,7 @@ def _cmd_sweep(args) -> int:
     ))
     if cache is not None:
         print(f"\n{cache.describe()}")
+        cache.flush_stats()
     violations = result.violations()
     if args.json:
         result.save(args.json)
@@ -242,6 +358,73 @@ def _cmd_sweep(args) -> int:
         return 1
     print("\nsafety (agreement + validity): ok on every case")
     return 0
+
+
+def _cmd_merge(args) -> int:
+    """Recombine per-shard ``--json`` exports into the whole-grid result."""
+    from repro.engine import BatchResult
+
+    _ensure_writable(args.json)
+    results = []
+    for path in args.inputs:
+        try:
+            results.append(BatchResult.load(path))
+        except OSError as exc:
+            raise SystemExit(f"cannot read shard {path!r}: {exc}")
+        except (ValueError, TypeError, KeyError) as exc:
+            raise SystemExit(f"invalid shard export {path!r}: {exc}")
+    if any(
+        record.case_index < 0
+        for result in results
+        for record in result.records
+    ):
+        raise SystemExit(
+            "shard exports contain records without case indices; "
+            "only engine-produced exports can be merged canonically"
+        )
+    try:
+        merged = BatchResult.merge(results)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    merged.save(args.json)
+    print(
+        f"merged {merged.case_count} records from {len(args.inputs)} "
+        f"shards into {args.json}"
+    )
+    return 0
+
+
+def _cmd_cache_stats(args) -> int:
+    """Report entry count, size and lifetime hit rate of a cache dir."""
+    from repro.engine import cache_stats
+
+    try:
+        stats = cache_stats(args.directory)
+    except OSError as exc:
+        raise SystemExit(f"cannot read cache directory: {exc}")
+    print(
+        f"cache {args.directory}: {stats['entries']} entries, "
+        f"{stats['total_bytes']} bytes"
+    )
+    if stats["hit_rate"] is None:
+        print("lifetime: no recorded sweeps")
+    else:
+        extras = ""
+        if stats["deduped"]:
+            extras += f", {stats['deduped']} deduped"
+        if stats["store_failures"]:
+            extras += f", {stats['store_failures']} store failures"
+        print(
+            f"lifetime: {stats['hits']} hits, {stats['misses']} misses"
+            f"{extras} over {stats['sweeps']} sweeps "
+            f"(hit rate {100 * stats['hit_rate']:.1f}%)"
+        )
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    handlers = {"stats": _cmd_cache_stats}
+    return handlers[args.cache_command](args)
 
 
 def _cmd_experiments(_args) -> int:
@@ -285,25 +468,50 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a declarative case grid on the batch engine",
     )
-    sweep_parser.add_argument("--n", type=int, default=5)
-    sweep_parser.add_argument("--t", type=int, default=2)
     sweep_parser.add_argument(
-        "--algorithms", default="",
+        "--grid", default="",
+        help="run a grid spec from this JSON file (see --save-grid) "
+             "instead of building the stock grid from flags",
+    )
+    sweep_parser.add_argument(
+        "--save-grid", default="",
+        help="write the grid being run to this JSON file (versionable; "
+             "re-runnable via --grid)",
+    )
+    # Grid-shaping flags default to None so _load_grid can reject any of
+    # them passed explicitly alongside --grid (see _GRID_SHAPE_FLAGS).
+    sweep_parser.add_argument("--n", type=int, default=None,
+                              help="processes per case (default 5)")
+    sweep_parser.add_argument("--t", type=int, default=None,
+                              help="resilience bound (default 2)")
+    sweep_parser.add_argument(
+        "--algorithms", default=None,
         help="comma-separated registry names (default: the five E5 "
              "algorithms)",
     )
     sweep_parser.add_argument(
-        "--cases-per-family", type=int, default=12,
+        "--cases-per-family", type=int, default=None,
         help="instances per seeded schedule family (default 12)",
     )
-    sweep_parser.add_argument("--seed", type=int, default=0,
+    sweep_parser.add_argument("--seed", type=int, default=None,
                               help="master seed for the grid (default 0)")
     sweep_parser.add_argument(
-        "--workers", type=int, default=0,
-        help="worker processes; 0 = auto-size to the machine, 1 = serial",
+        "--backend", choices=("serial", "processes", "threads"),
+        default="processes",
+        help="execution backend (default processes)",
     )
     sweep_parser.add_argument(
-        "--proposals-mode", choices=("range", "random"), default="random",
+        "--workers", type=int, default=None,
+        help="pool size for processes/threads backends "
+             "(default: auto-size to the machine)",
+    )
+    sweep_parser.add_argument(
+        "--shard", default="",
+        help="run only shard I of N (format I/N, e.g. 0/2); merge the "
+             "per-shard --json exports with `repro merge`",
+    )
+    sweep_parser.add_argument(
+        "--proposals-mode", choices=("range", "random"), default=None,
         help="proposal pattern per case (default random)",
     )
     sweep_parser.add_argument("--json", default="",
@@ -317,6 +525,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="bypass --cache (run every case) without editing scripts",
     )
+
+    merge_parser = sub.add_parser(
+        "merge",
+        help="recombine per-shard sweep --json exports canonically",
+    )
+    merge_parser.add_argument(
+        "inputs", nargs="+",
+        help="shard export files (any order)",
+    )
+    merge_parser.add_argument(
+        "--json", required=True,
+        help="write the merged result to this JSON file",
+    )
+
+    cache_parser = sub.add_parser(
+        "cache",
+        help="inspect a result-cache directory",
+    )
+    cache_sub = cache_parser.add_subparsers(
+        dest="cache_command", required=True
+    )
+    stats_parser = cache_sub.add_parser(
+        "stats",
+        help="entry count, total bytes and lifetime hit rate",
+    )
+    stats_parser.add_argument("directory", help="cache directory to inspect")
     return parser
 
 
@@ -327,6 +561,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "experiments": _cmd_experiments,
         "sweep": _cmd_sweep,
+        "merge": _cmd_merge,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

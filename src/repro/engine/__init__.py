@@ -1,22 +1,44 @@
 """The batch execution engine.
 
 Declarative case grids (:mod:`repro.engine.grids`), expanded into concrete
-:class:`~repro.engine.cases.Case` lists and executed — serially or across
-a ``multiprocessing`` worker pool — by :mod:`repro.engine.runner`, with
-records aggregated into :class:`~repro.engine.results.BatchResult`.
-Parallel and serial execution of the same grid produce identical record
-sequences; see the runner module docstring for the determinism contract.
-A :class:`~repro.engine.cache.ResultCache` can be threaded through the
-runners so repeated grids only execute cache misses.
+:class:`~repro.engine.cases.Case` lists and executed by
+:mod:`repro.engine.runner` on a pluggable execution backend
+(:mod:`repro.engine.executors`: serial, process-pool or thread-pool —
+anything satisfying the :class:`~repro.engine.executors.Executor`
+protocol), with records aggregated into
+:class:`~repro.engine.results.BatchResult`.  Every backend produces
+identical record sequences for the same grid; see the runner module
+docstring for the determinism contract.
+
+Grids serialize to versioned JSON files
+(:meth:`~repro.engine.grids.GridSpec.to_data` / ``from_data``), a
+:class:`~repro.engine.grids.ShardSpec` slices an expanded grid
+deterministically for distributed fan-out, and
+:meth:`~repro.engine.results.BatchResult.merge` recombines shard exports
+canonically.  A :class:`~repro.engine.cache.ResultCache` can be threaded
+through the runners so repeated grids only execute cache misses.
 """
 
-from repro.engine.cache import ResultCache
+from repro.engine.cache import ResultCache, cache_stats
 from repro.engine.cases import Case, cases_from
+from repro.engine.executors import (
+    BACKENDS,
+    Executor,
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    execute_case,
+    resolve_executor,
+    resolve_workers,
+)
 from repro.engine.grids import (
     DEFAULT_SWEEP_ALGORITHMS,
+    GRID_FORMAT_VERSION,
     FamilySpec,
     GridError,
     GridSpec,
+    ShardSpec,
     case_seed,
     default_sweep_grid,
     expand_family,
@@ -24,22 +46,26 @@ from repro.engine.grids import (
     family,
 )
 from repro.engine.results import AlgorithmSummary, BatchResult
-from repro.engine.runner import (
-    execute_case,
-    resolve_workers,
-    run_batch,
-    run_cases,
-)
+from repro.engine.runner import run_batch, run_cases
 
 __all__ = [
+    "BACKENDS",
     "Case",
+    "Executor",
+    "ExecutorError",
     "FamilySpec",
     "GridSpec",
     "GridError",
+    "GRID_FORMAT_VERSION",
     "AlgorithmSummary",
     "BatchResult",
+    "ProcessExecutor",
     "ResultCache",
+    "SerialExecutor",
+    "ShardSpec",
+    "ThreadExecutor",
     "DEFAULT_SWEEP_ALGORITHMS",
+    "cache_stats",
     "case_seed",
     "cases_from",
     "default_sweep_grid",
@@ -47,6 +73,7 @@ __all__ = [
     "expand_grid",
     "family",
     "execute_case",
+    "resolve_executor",
     "resolve_workers",
     "run_batch",
     "run_cases",

@@ -56,6 +56,56 @@ from repro.engine.cases import Case
 #: On-disk entry format version; bumped whenever the entry layout changes.
 ENTRY_VERSION = 1
 
+#: Lifetime-counter sidecar file name (lives at the cache root, outside
+#: the ``<key[:2]>/`` entry fan-out so entry globs never see it).
+STATS_FILE = "stats.json"
+
+#: Counters accumulated in the stats sidecar.
+_STAT_KEYS = ("hits", "misses", "deduped", "store_failures", "sweeps")
+
+
+def _read_stats_file(path: "Path") -> dict:
+    """The accumulated counters in *path* (zeros when absent/corrupt)."""
+    totals = {key: 0 for key in _STAT_KEYS}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        for key in _STAT_KEYS:
+            value = data.get(key, 0)
+            if isinstance(value, int) and value >= 0:
+                totals[key] = value
+    except (OSError, ValueError, AttributeError):
+        pass
+    return totals
+
+
+def cache_stats(directory: str | os.PathLike) -> dict:
+    """Inspect a cache directory without constructing a live cache.
+
+    Returns entry count, total entry bytes, the lifetime counters folded
+    in by :meth:`ResultCache.flush_stats`, and the derived hit rate
+    (``None`` when no lookups were ever recorded).  Raises ``OSError``
+    when *directory* is not a readable directory.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise OSError(f"not a cache directory: {directory}")
+    entries = 0
+    total_bytes = 0
+    for path in root.glob("??/*.json"):
+        try:
+            total_bytes += path.stat().st_size
+        except OSError:
+            continue  # entry vanished under a concurrent sweep
+        entries += 1
+    stats = _read_stats_file(root / STATS_FILE)
+    lookups = stats["hits"] + stats["misses"]
+    stats.update(
+        entries=entries,
+        total_bytes=total_bytes,
+        hit_rate=stats["hits"] / lookups if lookups else None,
+    )
+    return stats
+
 #: Key-scheme tag mixed into every key; bumped whenever key semantics change.
 KEY_SCHEME = "repro-sweep-cache-v1"
 
@@ -215,6 +265,43 @@ class ResultCache:
     def entry_count(self) -> int:
         """Number of entries currently on disk."""
         return sum(1 for _ in self.directory.glob("??/*.json"))
+
+    def flush_stats(self) -> None:
+        """Fold this cache's session counters into ``directory/stats.json``.
+
+        The stats file accumulates lifetime hit/miss/dedup/store-failure
+        totals (plus a sweep count) across processes, so ``repro cache
+        stats`` can report a hit rate for a long-lived directory.  A
+        successful flush zeroes the session counters, so flushing after
+        every sweep of a long-lived cache object never double-counts;
+        a failed flush keeps them for the next attempt.  Writes are
+        atomic but last-writer-wins under concurrency — the file is
+        advisory metadata, never consulted for lookups, so a lost update
+        costs only bookkeeping accuracy.  Failures are swallowed like
+        entry-store failures: stats must never abort a sweep.
+        """
+        path = self.directory / STATS_FILE
+        totals = _read_stats_file(path)
+        totals["hits"] += self.hits
+        totals["misses"] += self.misses
+        totals["deduped"] += self.deduped
+        totals["store_failures"] += self.store_failures
+        totals["sweeps"] += 1
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(
+                json.dumps(totals, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            os.replace(tmp, path)
+        except OSError:
+            self.store_failures += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        else:
+            self.hits = self.misses = self.deduped = 0
+            self.store_failures = 0
 
     def describe(self) -> str:
         """One-line hit/miss summary, e.g. for the sweep CLI.

@@ -1,4 +1,4 @@
-"""Declarative case grids and the seeded schedule-family layer.
+"""Declarative case grids, the seeded schedule-family layer, grid files.
 
 A :class:`GridSpec` describes a whole experiment *declaratively* —
 algorithms × schedule families × proposal pattern — and
@@ -17,13 +17,25 @@ Families come in two flavours:
   function of ``(grid seed, family name, i)``.  Derivation uses SHA-256,
   so the expansion is reproducible across processes, machines and Python
   versions — the foundation of the engine's determinism guarantee.
+
+Grid specs are plain data and round-trip through JSON
+(:meth:`GridSpec.to_data`/:meth:`GridSpec.from_data`, ``save``/``load``),
+so experiment definitions live in versioned files and run with
+``python -m repro sweep --grid grid.json`` instead of bespoke scripts.
+
+A :class:`ShardSpec` slices an expanded grid deterministically (round-robin
+over case indices), so one grid file can fan out across machines; the
+per-shard exports recombine canonically via
+:meth:`~repro.engine.results.BatchResult.merge` because every record
+carries its originating case index.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.algorithms.registry import available_algorithms
 from repro.engine.cases import Case
@@ -94,6 +106,42 @@ class FamilySpec:
         if self.count < 1:
             raise GridError(f"family {self.name!r}: count must be >= 1")
 
+    def to_data(self) -> dict:
+        """A plain-data (JSON-safe) representation of this family."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "count": self.count,
+            "horizon": self.horizon,
+            "params": dict(self.params),
+        }
+
+    @staticmethod
+    def from_data(data: Mapping) -> "FamilySpec":
+        """Rebuild a family from :meth:`to_data` output (validated)."""
+        _require_mapping(data, "family")
+        _reject_unknown_keys(
+            data, ("name", "kind", "count", "horizon", "params"), "family"
+        )
+        for required in ("name", "kind"):
+            if required not in data:
+                raise GridError(f"family entry is missing {required!r}")
+        params = data.get("params", {})
+        if not isinstance(params, Mapping) or not all(
+            isinstance(key, str) for key in params
+        ):
+            raise GridError(
+                f"family {data.get('name')!r}: params must be an object "
+                f"with string keys, got {params!r}"
+            )
+        return FamilySpec(
+            name=_str_field(data, "name", "family", ""),
+            kind=_str_field(data, "kind", "family", ""),
+            count=_int_field(data, "count", "family", 1),
+            horizon=_int_field(data, "horizon", "family", 12),
+            params=tuple(sorted(params.items())),
+        )
+
 
 def family(
     name: str,
@@ -160,6 +208,195 @@ class GridSpec:
     def case_count(self) -> int:
         """Number of cases :func:`expand_grid` will produce."""
         return len(self.algorithms) * sum(f.count for f in self.families)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_data(self) -> dict:
+        """A plain-data (JSON-safe) representation of the whole grid.
+
+        Round-trips losslessly through :meth:`from_data` for any spec
+        built via :func:`family` (whose ``params`` are canonically
+        sorted); hand-built unsorted param tuples are normalized.
+        """
+        return {
+            "version": GRID_FORMAT_VERSION,
+            "n": self.n,
+            "t": self.t,
+            "algorithms": list(self.algorithms),
+            "families": [fam.to_data() for fam in self.families],
+            "seed": self.seed,
+            "proposal_mode": self.proposal_mode,
+        }
+
+    @staticmethod
+    def from_data(data: Mapping) -> "GridSpec":
+        """Rebuild a grid from :meth:`to_data` output.
+
+        Validation is strict — unknown keys, a missing/foreign ``version``,
+        wrongly-typed values and malformed families all raise
+        :class:`GridError` with the offending key named.  Every
+        experiment-defining grid key is *required* (``to_data`` always
+        writes them all): a hand-written file silently defaulting
+        ``seed`` or ``proposal_mode`` would run a different experiment
+        than its author believes.  Only a family's ``count``/``horizon``/
+        ``params`` may be omitted — they take the same defaults as the
+        :class:`FamilySpec` constructor itself.
+        """
+        _require_mapping(data, "grid")
+        _reject_unknown_keys(
+            data,
+            ("version", "n", "t", "algorithms", "families", "seed",
+             "proposal_mode"),
+            "grid",
+        )
+        if data.get("version") != GRID_FORMAT_VERSION:
+            raise GridError(
+                f"unsupported grid format version {data.get('version')!r} "
+                f"(this engine reads version {GRID_FORMAT_VERSION})"
+            )
+        for required in ("n", "t", "algorithms", "families", "seed",
+                         "proposal_mode"):
+            if required not in data:
+                raise GridError(f"grid is missing {required!r}")
+        for key in ("algorithms", "families"):
+            if not isinstance(data[key], Sequence) or isinstance(
+                data[key], (str, bytes)
+            ):
+                raise GridError(f"grid {key!r} must be a list")
+        if not all(isinstance(name, str) for name in data["algorithms"]):
+            raise GridError(
+                f"grid 'algorithms' must be a list of strings, "
+                f"got {data['algorithms']!r}"
+            )
+        return GridSpec(
+            n=_int_field(data, "n", "grid", 0),
+            t=_int_field(data, "t", "grid", 0),
+            algorithms=tuple(data["algorithms"]),
+            families=tuple(
+                FamilySpec.from_data(entry) for entry in data["families"]
+            ),
+            seed=_int_field(data, "seed", "grid", 0),
+            proposal_mode=_str_field(data, "proposal_mode", "grid", "range"),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Canonical JSON: two equal specs serialize byte-identically."""
+        return json.dumps(self.to_data(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "GridSpec":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise GridError(f"grid file is not valid JSON: {exc}")
+        return GridSpec.from_data(data)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @staticmethod
+    def load(path: str) -> "GridSpec":
+        """Read a grid spec from a JSON file (``GridError`` on bad data)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return GridSpec.from_json(handle.read())
+
+
+#: Grid-file format version; bumped whenever the spec schema changes.
+GRID_FORMAT_VERSION = 1
+
+
+def _require_mapping(data: Any, what: str) -> None:
+    if not isinstance(data, Mapping):
+        raise GridError(
+            f"{what} spec must be an object, got {type(data).__name__}"
+        )
+
+
+def _int_field(data: Mapping, key: str, what: str, default: int) -> int:
+    """The integer at *key* (``GridError`` naming the key on a bad type).
+
+    ``bool`` is explicitly excluded — JSON ``true`` is not a count.
+    """
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise GridError(
+            f"{what} {key!r} must be an integer, got {value!r}"
+        )
+    return value
+
+
+def _str_field(data: Mapping, key: str, what: str, default: str) -> str:
+    value = data.get(key, default)
+    if not isinstance(value, str):
+        raise GridError(
+            f"{what} {key!r} must be a string, got {value!r}"
+        )
+    return value
+
+
+def _reject_unknown_keys(
+    data: Mapping, known: tuple[str, ...], what: str
+) -> None:
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        raise GridError(
+            f"unknown {what} keys {unknown}; known: " + ", ".join(known)
+        )
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One deterministic slice of an expanded grid: shard *index* of *count*.
+
+    Selection is round-robin over case indices (``case.index % count ==
+    index``), a pure function of the expansion — every machine slicing
+    the same grid file agrees on the partition without coordination, and
+    round-robin keeps per-shard load balanced even when expensive cases
+    cluster (e.g. one algorithm's block of the expansion).  The shards of
+    a grid partition its index space, which is exactly the contract
+    :meth:`~repro.engine.results.BatchResult.merge` needs to recombine
+    shard exports into the whole-grid result in any arrival order.
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise GridError(
+                f"shard count must be >= 1, got {self.count}"
+            )
+        if not 0 <= self.index < self.count:
+            raise GridError(
+                f"shard index must satisfy 0 <= index < count, "
+                f"got {self.index}/{self.count}"
+            )
+
+    @staticmethod
+    def parse(text: str) -> "ShardSpec":
+        """Parse the CLI form ``I/N`` (e.g. ``0/4``), validating both parts."""
+        head, sep, tail = text.partition("/")
+        try:
+            if not sep:
+                raise ValueError
+            index, count = int(head), int(tail)
+        except ValueError:
+            raise GridError(
+                f"malformed shard {text!r}: expected I/N with integers, "
+                f"e.g. 0/4"
+            )
+        return ShardSpec(index=index, count=count)
+
+    def select(self, cases: Sequence) -> list:
+        """The sub-list of *cases* belonging to this shard."""
+        return [
+            case for case in cases if case.index % self.count == self.index
+        ]
+
+    def describe(self) -> str:
+        return f"shard {self.index}/{self.count}"
 
 
 def build_schedule(

@@ -12,6 +12,7 @@ JSON regardless of worker count.
 from __future__ import annotations
 
 import json
+from collections import Counter
 from dataclasses import asdict, dataclass
 from typing import Iterable, Mapping
 
@@ -160,6 +161,18 @@ class BatchResult:
             handle.write("\n")
 
     @staticmethod
+    def load(path: str) -> "BatchResult":
+        """Read a ``save``d (or ``--json``-exported) result back from disk.
+
+        The inverse of :meth:`save`; shard exports loaded this way feed
+        :meth:`merge` to recombine a sharded sweep.  Raises ``ValueError``
+        on malformed JSON or a foreign format version, ``OSError`` on an
+        unreadable path.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            return BatchResult.from_data(json.load(handle))
+
+    @staticmethod
     def from_data(data: Mapping) -> "BatchResult":
         """Rebuild a result from :meth:`to_data` output (summaries re-derived)."""
         if data.get("version") != FORMAT_VERSION:
@@ -177,19 +190,30 @@ class BatchResult:
         """Recombine several batches (e.g. per-shard results) canonically.
 
         Engine-produced records carry their originating case index
-        (``SweepRecord.case_index``); when every record has one and they
-        are pairwise distinct — the sharding contract: shards of one grid
-        partition its index space — the merged stream is re-sorted by that
-        key, so the result is identical regardless of shard arrival order.
-        Streams without usable indices (hand-built records, pre-engine
-        archives) fall back to plain concatenation order.
+        (``SweepRecord.case_index``); when every record has one, the
+        merged stream is re-sorted by that key, so the result is
+        identical regardless of shard arrival order — and duplicate
+        indices raise ``ValueError``, because shards of one grid must
+        partition its index space and silently concatenating an
+        overlapping (or twice-loaded) shard would corrupt every
+        aggregate downstream.  Streams containing index-less records
+        (hand-built, ``case_index == -1``) fall back to plain
+        concatenation order.
         """
         merged: list[SweepRecord] = []
         for result in results:
             merged.extend(result.records)
         indices = [record.case_index for record in merged]
-        if all(index >= 0 for index in indices) and len(set(indices)) == len(
-            indices
-        ):
+        if all(index >= 0 for index in indices):
+            counts = Counter(indices)
+            duplicates = sorted(
+                index for index, count in counts.items() if count > 1
+            )
+            if duplicates:
+                raise ValueError(
+                    f"shards overlap: case indices {duplicates[:10]} "
+                    f"appear in more than one input — shards of one grid "
+                    f"must partition its index space"
+                )
             merged.sort(key=lambda record: record.case_index)
         return BatchResult(records=tuple(merged))

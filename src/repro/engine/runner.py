@@ -1,92 +1,87 @@
-"""The batch execution engine: serial and multiprocessing case runners.
+"""The batch execution engine: case runners over pluggable backends.
 
 :func:`run_batch` is the main entry point: it takes a declarative
 :class:`~repro.engine.grids.GridSpec` (or an already-expanded case list),
-executes every case — across a ``multiprocessing`` pool when ``workers >
-1``, or inline otherwise — and aggregates the streamed
+executes every case on an execution backend
+(:mod:`repro.engine.executors`) and aggregates the streamed
 :class:`~repro.analysis.sweep.SweepRecord` stream into a
 :class:`~repro.engine.results.BatchResult`.
 
 Determinism contract: executions of the same grid produce *identical*
-record sequences regardless of worker count.  Three properties make this
-hold:
+record sequences regardless of backend or pool size.  Three properties
+make this hold:
 
 * case expansion is a pure function of the spec (seeds derived by SHA-256,
   never by global RNG state);
 * each case runs on the deterministic kernel, so its record is a function
   of the case alone;
-* records are collected as ``(case index, record)`` pairs and re-sorted by
-  index, erasing pool scheduling order.  Each record also carries its
-  index (``SweepRecord.case_index``), so shard outputs can be recombined
-  canonically by :meth:`~repro.engine.results.BatchResult.merge` in any
-  arrival order.
+* executors yield ``(case index, record)`` pairs in arbitrary order and
+  the runner re-sorts by index, erasing scheduling order.  Each record
+  also carries its index (``SweepRecord.case_index``), so shard outputs
+  can be recombined canonically by
+  :meth:`~repro.engine.results.BatchResult.merge` in any arrival order.
+
+Backends are selected with ``executor=`` — :class:`SerialExecutor`,
+:class:`ProcessExecutor` or :class:`ThreadExecutor` (or anything else
+satisfying the :class:`~repro.engine.executors.Executor` protocol).  The
+bare ``workers=`` integer of the original API still works as a deprecated
+shim (``1`` → serial, ``0`` → auto-sized process pool, ``N`` → pool of
+N) and warns.
 
 Passing a :class:`~repro.engine.cache.ResultCache` as ``cache=`` splits
 the cases into hits and misses up front: hits are answered from disk
 (re-stamped with the requesting case's label and index), only misses
-reach the kernel/pool, and freshly-computed records are stored back.
+reach the executor, and freshly-computed records are stored back.
 Because cached records are byte-identical to recomputed ones, a warm
 cache changes nothing but wall-clock time.
 
 Workers resolve automaton factories from the algorithm registry by name,
 so cases stay picklable.  Cases carrying an explicit in-process ``factory``
-(the legacy ``analysis.sweep`` path) are executed serially and are never
-cached (see :meth:`~repro.engine.cache.ResultCache.case_key`).
+(the legacy ``analysis.sweep`` path) make :class:`ProcessExecutor` fall
+back to serial execution and are never cached (see
+:meth:`~repro.engine.cache.ResultCache.case_key`).
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
+import warnings
 from collections import Counter
 from dataclasses import replace
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
-from repro.analysis.sweep import SweepRecord, run_case
+from repro.analysis.sweep import SweepRecord
 from repro.engine.cases import Case
-from repro.engine.grids import GridError, GridSpec, expand_grid
+from repro.engine.executors import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    execute_case,
+    executor_from_workers,
+    resolve_executor,
+    resolve_workers,
+)
+from repro.engine.grids import GridError, GridSpec, ShardSpec, expand_grid
 from repro.engine.results import BatchResult
 
 if TYPE_CHECKING:
     from repro.engine.cache import ResultCache
 
+__all__ = [
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "execute_case",
+    "resolve_executor",
+    "resolve_workers",
+    "run_batch",
+    "run_cases",
+]
+
 OnRecord = Callable[[int, SweepRecord], None]
 
-
-def execute_case(case: Case) -> tuple[int, SweepRecord]:
-    """Run one case and return its (index, record) pair.
-
-    Module-level (not a closure) so the multiprocessing pool can pickle it.
-    The record is stamped with the case's index, making record streams
-    self-describing for order-independent recombination.
-    """
-    record, _trace = run_case(
-        case.algorithm,
-        case.resolve_factory(),
-        case.workload,
-        case.schedule,
-        list(case.proposals),
-    )
-    return case.index, replace(record, case_index=case.index)
-
-
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """Prefer fork (cheap, no re-import) where the platform offers it."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
-    )
-
-
-def resolve_workers(workers: int | None, n_cases: int) -> int:
-    """Clamp a requested worker count to something sensible.
-
-    ``None`` or 0 auto-sizes to the machine (capped at 8 — the per-case
-    work is small, so more workers mostly add IPC overhead).
-    """
-    if workers is None or workers <= 0:
-        workers = min(8, os.cpu_count() or 1)
-    return max(1, min(workers, n_cases))
+_UNSET = object()
 
 
 def _check_unique_indices(cases: Sequence[Case]) -> None:
@@ -105,10 +100,34 @@ def _check_unique_indices(cases: Sequence[Case]) -> None:
         )
 
 
+def _resolve_backend(executor: Executor | None, workers) -> Executor:
+    """The executor to run on, honoring the deprecated ``workers=`` shim.
+
+    ``stacklevel=3`` attributes the warning to whoever called
+    ``run_cases``/``run_batch`` — both resolve their backend directly
+    (``run_batch`` before delegating), so the caller's frame is always
+    exactly two above this helper's.
+    """
+    if workers is not _UNSET:
+        if executor is not None:
+            raise TypeError(
+                "pass either executor= or the deprecated workers=, not both"
+            )
+        warnings.warn(
+            "workers= is deprecated; pass executor=SerialExecutor() / "
+            "ProcessExecutor(workers=N) / ThreadExecutor(workers=N) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return executor_from_workers(workers)
+    return executor if executor is not None else SerialExecutor()
+
+
 def run_cases(
     cases: Iterable[Case],
     *,
-    workers: int = 1,
+    executor: Executor | None = None,
+    workers=_UNSET,
     on_record: OnRecord | None = None,
     cache: "ResultCache | None" = None,
 ) -> list[SweepRecord]:
@@ -118,15 +137,19 @@ def run_cases(
         cases: expanded cases; their ``index`` fields define the output
             order (they need not be contiguous, but must be unique —
             duplicates raise :class:`GridError`).
-        workers: pool size; <= 1 selects the deterministic serial path.
-            Cases with explicit in-process factories force the serial path.
+        executor: execution backend (default :class:`SerialExecutor`).
+        workers: deprecated pool-size shim; <= 1 selects the serial path,
+            0 an auto-sized process pool.  Mutually exclusive with
+            ``executor``.
         on_record: optional streaming callback, invoked as each record
             arrives — cache hits first (in case order), then executed
-            misses in completion order, which under a pool is
-            nondeterministic.  Only the returned list is canonical.
+            misses in the executor's completion order, which under a pool
+            is nondeterministic.  Only the returned list is canonical.
         cache: optional :class:`~repro.engine.cache.ResultCache`; hits
-            skip the kernel entirely, misses are executed and stored back.
+            skip the executor entirely, misses are executed and stored
+            back.
     """
+    backend = _resolve_backend(executor, workers)
     cases = list(cases)  # tolerate one-shot iterators: we iterate twice
     _check_unique_indices(cases)
 
@@ -158,8 +181,6 @@ def run_cases(
                 if on_record is not None:
                     on_record(case.index, record)
 
-    serial_only = any(case.factory is not None for case in pending)
-    workers = resolve_workers(workers, len(pending))
     by_index = {case.index: case for case in pending}
 
     def collect(pair: tuple[int, SweepRecord]) -> None:
@@ -180,17 +201,8 @@ def run_cases(
             if on_record is not None:
                 on_record(duplicate.index, stamped)
 
-    if workers <= 1 or serial_only or len(pending) < 2:
-        for case in pending:
-            collect(execute_case(case))
-    else:
-        context = _pool_context()
-        chunksize = max(1, len(pending) // (workers * 4))
-        with context.Pool(processes=workers) as pool:
-            for pair in pool.imap_unordered(
-                execute_case, pending, chunksize=chunksize
-            ):
-                collect(pair)
+    for pair in backend.map_cases(pending):
+        collect(pair)
     indexed.sort(key=lambda pair: pair[0])
     return [record for _index, record in indexed]
 
@@ -198,18 +210,30 @@ def run_cases(
 def run_batch(
     grid: GridSpec | Iterable[Case],
     *,
-    workers: int = 1,
+    executor: Executor | None = None,
+    workers=_UNSET,
+    shard: ShardSpec | None = None,
     on_record: OnRecord | None = None,
     cache: "ResultCache | None" = None,
 ) -> BatchResult:
-    """Expand (if needed) and execute a grid, returning the aggregate result."""
+    """Expand (if needed) and execute a grid, returning the aggregate result.
+
+    ``shard`` selects one deterministic slice of the expanded case list
+    (see :class:`~repro.engine.grids.ShardSpec`); the per-shard
+    :class:`~repro.engine.results.BatchResult` exports recombine with
+    :meth:`~repro.engine.results.BatchResult.merge` into exactly the
+    whole-grid result, regardless of backend or merge order.
+    """
+    backend = _resolve_backend(executor, workers)
     if isinstance(grid, GridSpec):
         cases: Sequence[Case] = expand_grid(grid)
     else:
         cases = list(grid)
+    if shard is not None:
+        cases = shard.select(cases)
     return BatchResult(
         records=tuple(
-            run_cases(cases, workers=workers, on_record=on_record,
-                      cache=cache)
+            run_cases(cases, executor=backend,
+                      on_record=on_record, cache=cache)
         )
     )

@@ -12,8 +12,14 @@ from repro.algorithms.registry import (
     algorithm_source_hash,
     clear_source_hash_cache,
 )
-from repro.engine import Case, ResultCache, run_batch, run_cases
-from repro.engine import runner as runner_module
+from repro.engine import (
+    Case,
+    ProcessExecutor,
+    ResultCache,
+    run_batch,
+    run_cases,
+)
+from repro.engine import executors as executors_module
 
 
 def _case(index, algorithm="att2", workload="ff", n=3, t=1, horizon=8,
@@ -137,16 +143,16 @@ class TestHitMissPartitioning:
         def boom(case):
             raise AssertionError(f"kernel executed case {case.index}")
 
-        monkeypatch.setattr(runner_module, "execute_case", boom)
+        monkeypatch.setattr(executors_module, "execute_case", boom)
         assert run_cases(cases, cache=cache) == cold
 
     def test_partial_warmth_executes_only_misses(self, cache, monkeypatch):
         cases = _small_batch()
         run_cases(cases[:1], cache=cache)
         executed = []
-        real = runner_module.execute_case
+        real = executors_module.execute_case
         monkeypatch.setattr(
-            runner_module, "execute_case",
+            executors_module, "execute_case",
             lambda case: executed.append(case.index) or real(case),
         )
         run_cases(cases, cache=cache)
@@ -171,9 +177,9 @@ class TestHitMissPartitioning:
             _case(2, workload="repeat-b"),
         ]
         executed = []
-        real = runner_module.run_case
+        real = executors_module.run_case
         monkeypatch.setattr(
-            runner_module, "run_case",
+            executors_module, "run_case",
             lambda *args: executed.append(args[0]) or real(*args),
         )
         records = run_cases(cases, cache=cache)
@@ -302,6 +308,69 @@ class TestCorruptionRecovery:
         assert cache.misses == 2
 
 
+class TestStats:
+    def test_flush_accumulates_lifetime_counters(self, cache, tmp_path):
+        from repro.engine import cache_stats
+
+        cases = _small_batch()
+        run_cases(cases, cache=cache)
+        cache.flush_stats()
+        warm = ResultCache(tmp_path / "cache")  # fresh session, same dir
+        run_cases(cases, cache=warm)
+        warm.flush_stats()
+
+        stats = cache_stats(tmp_path / "cache")
+        assert stats["entries"] == 3
+        assert stats["total_bytes"] > 0
+        assert (stats["hits"], stats["misses"]) == (3, 3)
+        assert stats["sweeps"] == 2
+        assert stats["hit_rate"] == 0.5
+
+    def test_repeated_flush_never_double_counts(self, cache):
+        # One long-lived cache object flushed after every sweep: each
+        # flush folds only the activity since the previous one.
+        from repro.engine import cache_stats
+
+        cases = _small_batch()
+        run_cases(cases, cache=cache)
+        cache.flush_stats()
+        run_cases(cases, cache=cache)
+        cache.flush_stats()
+        stats = cache_stats(cache.directory)
+        assert (stats["hits"], stats["misses"]) == (3, 3)
+        assert stats["sweeps"] == 2
+
+    def test_stats_file_never_counts_as_an_entry(self, cache):
+        run_cases(_small_batch(), cache=cache)
+        cache.flush_stats()
+        assert cache.entry_count() == 3
+
+    def test_unswept_directory_reports_no_rate(self, cache):
+        from repro.engine import cache_stats
+
+        stats = cache_stats(cache.directory)
+        assert stats["entries"] == 0
+        assert stats["hit_rate"] is None
+
+    def test_corrupt_stats_file_reads_as_zeros(self, cache):
+        from repro.engine import cache_stats
+        from repro.engine.cache import STATS_FILE
+
+        run_cases(_small_batch(), cache=cache)
+        (cache.directory / STATS_FILE).write_text("{not json")
+        stats = cache_stats(cache.directory)
+        assert stats["entries"] == 3
+        assert stats["sweeps"] == 0
+        cache.flush_stats()  # heals: next flush rewrites from zeros
+        assert cache_stats(cache.directory)["sweeps"] == 1
+
+    def test_missing_directory_raises_oserror(self, tmp_path):
+        from repro.engine import cache_stats
+
+        with pytest.raises(OSError, match="not a cache directory"):
+            cache_stats(tmp_path / "absent")
+
+
 class TestColdWarmIdenticalJson:
     def test_parallel_cold_and_warm_byte_identical(self, cache):
         cases = [
@@ -312,9 +381,9 @@ class TestColdWarmIdenticalJson:
                 for h in (8, 9, 10, 11)
             )
         ]
-        uncached = run_batch(cases, workers=4)
-        cold = run_batch(cases, workers=4, cache=cache)
-        warm = run_batch(cases, workers=4, cache=cache)
+        uncached = run_batch(cases, executor=ProcessExecutor(4))
+        cold = run_batch(cases, executor=ProcessExecutor(4), cache=cache)
+        warm = run_batch(cases, executor=ProcessExecutor(4), cache=cache)
         assert cache.misses == len(cases)
         assert cache.hits == len(cases)
         assert cold.to_json() == uncached.to_json()

@@ -1,14 +1,18 @@
-"""Engine determinism: worker count must not be observable in the output.
+"""Engine determinism: the execution backend must not be observable.
 
-The PR's acceptance criterion lives here: the stock ``sweep`` grid (>= 100
-cases over >= 3 algorithms) executed on a 4-worker pool yields records
-identical — including canonical JSON bytes — to serial execution of the
-same grid, and re-expanding a grid with the same seed replays identically
-under :mod:`repro.sim.replay`.
+The acceptance criterion lives here: the stock ``sweep`` grid (>= 100
+cases over >= 3 algorithms) executed on a 4-worker process pool — or a
+thread pool — yields records identical (including canonical JSON bytes)
+to serial execution of the same grid, and re-expanding a grid with the
+same seed replays identically under :mod:`repro.sim.replay`.  Shard
+determinism across backends lives in ``test_shards.py``.
 """
 
 from repro.engine import (
     GridSpec,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
     default_sweep_grid,
     expand_grid,
     family,
@@ -36,10 +40,17 @@ def _small_grid(seed=5):
 class TestWorkerCountInvariance:
     def test_small_grid_parallel_matches_serial(self):
         grid = _small_grid()
-        serial = run_batch(grid, workers=1)
-        parallel = run_batch(grid, workers=4)
+        serial = run_batch(grid, executor=SerialExecutor())
+        parallel = run_batch(grid, executor=ProcessExecutor(4))
         assert serial.records == parallel.records
         assert serial.to_json() == parallel.to_json()
+
+    def test_thread_backend_matches_serial(self):
+        grid = _small_grid()
+        serial = run_batch(grid, executor=SerialExecutor())
+        threaded = run_batch(grid, executor=ThreadExecutor(4))
+        assert serial.records == threaded.records
+        assert serial.to_json() == threaded.to_json()
 
     def test_acceptance_grid_parallel_matches_serial(self):
         """The ISSUE's acceptance check: >= 100 cases, >= 3 algorithms."""
@@ -47,18 +58,18 @@ class TestWorkerCountInvariance:
         cases = expand_grid(grid)
         assert len(cases) >= 100
         assert len({case.algorithm for case in cases}) >= 3
-        serial = run_batch(cases, workers=1)
-        parallel = run_batch(cases, workers=4)
+        serial = run_batch(cases, executor=SerialExecutor())
+        parallel = run_batch(cases, executor=ProcessExecutor(4))
         assert serial.records == parallel.records
         assert serial.to_json() == parallel.to_json()
 
     def test_streaming_sees_same_records_in_any_order(self):
         grid = _small_grid()
         streamed: dict[int, object] = {}
-        run_batch(grid, workers=4,
+        run_batch(grid, executor=ProcessExecutor(4),
                   on_record=lambda index, record:
                       streamed.__setitem__(index, record))
-        serial = run_batch(grid, workers=1)
+        serial = run_batch(grid, executor=SerialExecutor())
         assert [streamed[i] for i in sorted(streamed)] == list(serial.records)
 
 

@@ -1,0 +1,133 @@
+"""Tests for the pluggable execution backends (repro.engine.executors)."""
+
+import pytest
+
+from repro import ATt2, Schedule
+from repro.engine import (
+    Case,
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+    run_cases,
+)
+
+BACKEND_PARAMS = [
+    pytest.param(SerialExecutor(), id="serial"),
+    pytest.param(ProcessExecutor(workers=3), id="processes"),
+    pytest.param(ThreadExecutor(workers=3), id="threads"),
+]
+
+
+def _case(index, algorithm="att2", workload="ff", n=3, t=1, horizon=8,
+          factory=None):
+    return Case(
+        index=index,
+        algorithm=algorithm,
+        workload=workload,
+        schedule=Schedule.failure_free(n, t, horizon),
+        proposals=tuple(range(n)),
+        factory=factory,
+    )
+
+
+class TestMapCasesProtocol:
+    @pytest.mark.parametrize("executor", BACKEND_PARAMS)
+    def test_yields_index_record_pairs_for_every_case(self, executor):
+        cases = [_case(i, horizon=8 + i) for i in range(6)]
+        pairs = list(executor.map_cases(cases))
+        assert sorted(index for index, _record in pairs) == list(range(6))
+        for index, record in pairs:
+            assert record.case_index == index
+            assert record.global_round == 3  # att2 decides at t + 2
+
+    @pytest.mark.parametrize("executor", BACKEND_PARAMS)
+    def test_empty_case_list(self, executor):
+        assert list(executor.map_cases([])) == []
+
+    @pytest.mark.parametrize("executor", BACKEND_PARAMS)
+    def test_backends_agree_with_serial_reference(self, executor):
+        cases = [
+            _case(i, algorithm=name, workload=f"{name}/{h}", horizon=h)
+            for i, (name, h) in enumerate(
+                (name, h)
+                for name in ("att2", "floodset", "hurfin_raynal")
+                for h in (8, 9, 10)
+            )
+        ]
+        reference = run_cases(cases, executor=SerialExecutor())
+        assert run_cases(cases, executor=executor) == reference
+
+    def test_executor_names(self):
+        assert SerialExecutor().name == "serial"
+        assert ProcessExecutor().name == "processes"
+        assert ThreadExecutor().name == "threads"
+
+
+class TestFactoryCases:
+    def _factory_cases(self):
+        # A lambda factory cannot cross a process boundary.
+        return [
+            _case(i, algorithm="custom",
+                  factory=lambda pid, n, t, proposal:
+                      ATt2.factory()(pid, n, t, proposal))
+            for i in range(3)
+        ]
+
+    def test_process_backend_falls_back_to_serial(self):
+        pairs = list(ProcessExecutor(workers=4).map_cases(
+            self._factory_cases()
+        ))
+        assert [record.global_round for _i, record in pairs] == [3, 3, 3]
+
+    def test_thread_backend_runs_factories_in_process(self):
+        # Threads share the interpreter, so no fallback is needed.
+        pairs = list(ThreadExecutor(workers=2).map_cases(
+            self._factory_cases()
+        ))
+        assert [record.global_round for _i, record in pairs] == [3, 3, 3]
+
+
+class TestResolveExecutor:
+    def test_maps_backend_names(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert resolve_executor("processes", workers=4) == ProcessExecutor(4)
+        assert resolve_executor("threads", workers=2) == ThreadExecutor(2)
+
+    def test_serial_accepts_one_worker(self):
+        assert isinstance(
+            resolve_executor("serial", workers=1), SerialExecutor
+        )
+
+    def test_serial_rejects_parallel_workers(self):
+        with pytest.raises(ExecutorError, match="serial backend"):
+            resolve_executor("serial", workers=4)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExecutorError, match="unknown backend"):
+            resolve_executor("carrier-pigeons")
+
+
+class TestWorkersShim:
+    def test_workers_still_works_but_warns(self):
+        cases = [_case(i) for i in range(3)]
+        with pytest.deprecated_call():
+            records = run_cases(cases, workers=2)
+        assert records == run_cases(cases)
+
+    def test_workers_one_means_serial(self):
+        with pytest.deprecated_call():
+            records = run_cases([_case(0)], workers=1)
+        assert records[0].global_round == 3
+
+    def test_executor_and_workers_are_mutually_exclusive(self):
+        with pytest.raises(TypeError, match="not both"):
+            run_cases([_case(0)], executor=SerialExecutor(), workers=2)
+
+    def test_default_is_serial_and_silent(self, recwarn):
+        run_cases([_case(0)])
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+        ]

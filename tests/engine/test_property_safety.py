@@ -11,14 +11,44 @@ Seeds are derived by the grid layer's :func:`repro.engine.grids.case_seed`
 and embedded in each case's workload label, so a violation message names
 the exact seeds needed to regenerate the failing schedules with the
 matching ``repro.sim.random_schedules`` generator.
+
+``REPRO_PROPERTY_SAMPLES`` cranks the per-algorithm sample count (the
+nightly CI lane runs thousands of seeds per algorithm this way); the
+default stays small enough for the tier-1 suite.
 """
+
+import os
 
 import pytest
 
 from repro.algorithms.registry import available_algorithms
 from repro.engine import GridSpec, family, run_batch
 
-SAMPLES = 200
+
+def _samples_from_env(default: int = 200) -> int:
+    """The per-algorithm sample count, overridable via environment.
+
+    A malformed or non-positive override is a configuration error worth
+    failing loudly on: a nightly lane silently falling back to 200
+    samples would report far more confidence than it earned.
+    """
+    raw = os.environ.get("REPRO_PROPERTY_SAMPLES", "")
+    if not raw:
+        return default
+    try:
+        samples = int(raw)
+    except ValueError:
+        raise RuntimeError(
+            f"REPRO_PROPERTY_SAMPLES must be an integer, got {raw!r}"
+        )
+    if samples < 1:
+        raise RuntimeError(
+            f"REPRO_PROPERTY_SAMPLES must be >= 1, got {samples}"
+        )
+    return samples
+
+
+SAMPLES = _samples_from_env()
 MASTER_SEED = 20260730
 
 
@@ -43,7 +73,13 @@ def _grid_for(name: str) -> GridSpec:
 
 @pytest.mark.parametrize("name", sorted(available_algorithms()))
 def test_safety_never_breaks_on_random_schedules(name):
-    result = run_batch(_grid_for(name))
+    # Cranked nightly runs fan out across a process pool; the stock
+    # tier-1 count stays serial (pool startup would dominate).  Either
+    # backend produces identical records, so the assertion is unchanged.
+    from repro.engine import ProcessExecutor, SerialExecutor
+
+    executor = ProcessExecutor() if SAMPLES > 500 else SerialExecutor()
+    result = run_batch(_grid_for(name), executor=executor)
     assert result.case_count == SAMPLES
     violations = result.violations()
     assert not violations, (

@@ -11,6 +11,7 @@ from repro.engine import (
     Case,
     GridError,
     GridSpec,
+    ProcessExecutor,
     family,
     resolve_workers,
     run_batch,
@@ -49,15 +50,15 @@ class TestRunCases:
         assert record.global_round == 3
 
     def test_unpicklable_factory_forces_serial_path(self):
-        # Lambdas cannot cross a process boundary; succeeding under
-        # workers=4 proves the runner fell back to serial execution.
+        # Lambdas cannot cross a process boundary; succeeding under a
+        # 4-worker process pool proves the backend fell back to serial.
         cases = [
             _case(i, algorithm="custom",
                   factory=lambda pid, n, t, proposal:
                       ATt2.factory()(pid, n, t, proposal))
             for i in range(3)
         ]
-        records = run_cases(cases, workers=4)
+        records = run_cases(cases, executor=ProcessExecutor(4))
         assert [r.global_round for r in records] == [3, 3, 3]
 
     def test_on_record_streams_every_case(self):
@@ -109,7 +110,8 @@ class TestRunBatch:
         assert by_grid.case_count == 6
 
     def test_parallel_pool_used_for_plain_cases(self):
-        result = run_batch([_case(i) for i in range(8)], workers=2)
+        result = run_batch([_case(i) for i in range(8)],
+                           executor=ProcessExecutor(2))
         assert result.case_count == 8
         assert all(r.global_round == 3 for r in result.records)
 
@@ -185,10 +187,18 @@ class TestBatchResult:
             BatchResult.from_data({"version": 1, "records": []})
 
     def test_merge(self):
-        a, b = self._result(), self._result()
-        merged = BatchResult.merge([a, b])
+        a = run_batch([_case(0, workload="w0"), _case(1, workload="w1")])
+        b = run_batch([_case(2, workload="w2")])
+        merged = BatchResult.merge([b, a])
         assert merged.case_count == a.case_count + b.case_count
-        assert merged.records[:3] == a.records
+        assert merged.records[:2] == a.records
+
+    def test_merge_rejects_overlapping_indexed_shards(self):
+        # Loading the same shard twice (or overlapping slices) must fail
+        # loudly: silent concatenation corrupts every aggregate.
+        a = self._result()
+        with pytest.raises(ValueError, match="shards overlap"):
+            BatchResult.merge([a, a])
 
     def test_merge_shuffled_shards_is_canonical(self):
         # The determinism contract: per-shard results recombine into the

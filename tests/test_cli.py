@@ -185,3 +185,167 @@ class TestSweepCache:
         blocker.write_text("")
         with pytest.raises(SystemExit, match="cannot use --cache"):
             main(self.ARGS + ["--cache", str(blocker)])
+
+
+class TestSweepValidation:
+    ARGS = ["sweep", "--cases-per-family", "2", "--algorithms", "att2"]
+
+    def test_workers_zero_rejected(self):
+        with pytest.raises(SystemExit, match="--workers must be >= 1"):
+            main(self.ARGS + ["--workers", "0"])
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SystemExit, match="--workers must be >= 1"):
+            main(self.ARGS + ["--workers", "-3"])
+
+    def test_malformed_shard_rejected(self):
+        with pytest.raises(SystemExit, match="malformed shard"):
+            main(self.ARGS + ["--shard", "banana"])
+
+    def test_shard_index_at_or_past_count_rejected(self):
+        with pytest.raises(SystemExit, match="shard index"):
+            main(self.ARGS + ["--shard", "2/2"])
+
+    def test_serial_backend_with_parallel_workers_rejected(self):
+        with pytest.raises(SystemExit, match="serial backend"):
+            main(self.ARGS + ["--backend", "serial", "--workers", "4"])
+
+    def test_grid_and_algorithms_mutually_exclusive(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text("{}")
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["sweep", "--grid", str(path), "--algorithms", "att2"])
+
+    def test_grid_rejects_every_explicit_shaping_flag(self, tmp_path):
+        # A grid file defines the whole experiment; silently ignoring an
+        # explicit --seed would let someone publish numbers for a sweep
+        # they never ran.
+        path = tmp_path / "grid.json"
+        path.write_text("{}")
+        for flags in (["--seed", "9"], ["--n", "5"], ["--t", "2"],
+                      ["--cases-per-family", "4"],
+                      ["--proposals-mode", "range"]):
+            with pytest.raises(SystemExit, match="mutually exclusive"):
+                main(["sweep", "--grid", str(path)] + flags)
+
+    def test_wrongly_typed_grid_file_fails_cleanly(self, tmp_path):
+        # count as a JSON string: clean SystemExit naming the key, not a
+        # TypeError traceback out of GridSpec validation.
+        path = tmp_path / "grid.json"
+        path.write_text(
+            '{"version": 1, "n": 5, "t": 2, "algorithms": ["att2"],'
+            ' "seed": 0, "proposal_mode": "range",'
+            ' "families": [{"name": "es", "kind": "random_es",'
+            ' "count": "4"}]}'
+        )
+        with pytest.raises(SystemExit, match="'count' must be"):
+            main(["sweep", "--grid", str(path)])
+
+    def test_missing_grid_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read --grid"):
+            main(["sweep", "--grid", str(tmp_path / "absent.json")])
+
+    def test_invalid_grid_file_rejected(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(SystemExit, match="invalid --grid"):
+            main(["sweep", "--grid", str(path)])
+
+
+class TestSweepGridFiles:
+    ARGS = [
+        "sweep", "--cases-per-family", "2", "--seed", "3",
+        "--algorithms", "att2,floodset", "--backend", "serial",
+    ]
+
+    def test_save_grid_roundtrips_through_sweep(self, capsys, tmp_path):
+        from repro.engine import GridSpec
+
+        grid_path = tmp_path / "grid.json"
+        flags_json = tmp_path / "flags.json"
+        file_json = tmp_path / "file.json"
+        assert main(self.ARGS + ["--save-grid", str(grid_path),
+                                 "--json", str(flags_json)]) == 0
+        loaded = GridSpec.load(str(grid_path))
+        assert loaded.algorithms == ("att2", "floodset")
+        assert loaded.seed == 3
+        assert main(["sweep", "--grid", str(grid_path), "--backend",
+                     "serial", "--json", str(file_json)]) == 0
+        capsys.readouterr()
+        assert flags_json.read_bytes() == file_json.read_bytes()
+
+
+class TestSweepShardsAndMerge:
+    ARGS = [
+        "sweep", "--cases-per-family", "2", "--seed", "3",
+        "--algorithms", "att2,floodset",
+    ]
+
+    def test_sharded_sweeps_merge_byte_identical(self, capsys, tmp_path):
+        whole = tmp_path / "whole.json"
+        merged = tmp_path / "merged.json"
+        shards = [tmp_path / f"shard{i}.json" for i in range(2)]
+        backends = ["threads", "serial"]
+        assert main(self.ARGS + ["--json", str(whole)]) == 0
+        for i, (path, backend) in enumerate(zip(shards, backends)):
+            assert main(self.ARGS + ["--shard", f"{i}/2", "--backend",
+                                     backend, "--json", str(path)]) == 0
+        # Merge in reversed arrival order: the output must not care.
+        assert main(["merge", str(shards[1]), str(shards[0]),
+                     "--json", str(merged)]) == 0
+        out = capsys.readouterr().out
+        assert "merged" in out
+        assert merged.read_bytes() == whole.read_bytes()
+
+    def test_shard_line_reports_slice(self, capsys):
+        assert main(self.ARGS + ["--shard", "0/2"]) == 0
+        first_line = capsys.readouterr().out.splitlines()[0]
+        assert "shard 0/2 of 18" in first_line
+        assert first_line.startswith("sweep: 9 cases")
+
+    def test_merge_rejects_overlapping_shards(self, capsys, tmp_path):
+        shard = tmp_path / "shard.json"
+        merged = tmp_path / "merged.json"
+        assert main(self.ARGS + ["--shard", "0/2", "--json",
+                                 str(shard)]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="shards overlap"):
+            main(["merge", str(shard), str(shard), "--json", str(merged)])
+
+    def test_merge_rejects_malformed_input(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="invalid shard export"):
+            main(["merge", str(bad), "--json", str(tmp_path / "out.json")])
+
+
+class TestCacheStats:
+    ARGS = [
+        "sweep", "--cases-per-family", "2", "--seed", "3",
+        "--algorithms", "att2,floodset", "--backend", "serial",
+    ]
+
+    def test_stats_accumulate_across_sweeps(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.ARGS + ["--cache", cache_dir]) == 0
+        assert main(self.ARGS + ["--cache", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "18 entries" in out
+        assert "18 hits, 18 misses" in out
+        assert "over 2 sweeps" in out
+        assert "hit rate 50.0%" in out
+
+    def test_stats_on_fresh_cache_dir(self, capsys, tmp_path):
+        from repro.engine import ResultCache
+
+        ResultCache(tmp_path / "cache")  # created, never swept
+        assert main(["cache", "stats", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "0 entries" in out
+        assert "no recorded sweeps" in out
+
+    def test_stats_on_missing_dir_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read cache"):
+            main(["cache", "stats", str(tmp_path / "absent")])
