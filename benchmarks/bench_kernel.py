@@ -1,0 +1,204 @@
+"""Kernel microbenchmark: compiled schedules vs the reference kernel.
+
+Two claims, both load-bearing for large-n sweeps (docs/performance.md):
+
+* **equivalence** — the compiled kernel (:func:`repro.sim.kernel.execute`)
+  produces full traces identical to the original query-at-a-time kernel
+  (:func:`repro.sim.kernel.execute_reference`), and the lean trace mode
+  produces byte-identical :class:`~repro.analysis.sweep.SweepRecord`\\ s;
+* **speed** — at n = 25 the compiled kernel with lean traces beats the
+  pre-refactor per-case pipeline (reference kernel + full trace +
+  per-case synchrony scan) several times over, because the per-round
+  O(n²) schedule method calls and the O(n² · horizon) ``sync_from`` scan
+  are compiled away.
+
+The ``kernel-bench`` CI lane runs this file (``--benchmark-disable``) on
+every push.  The equivalence assertions are unconditional; the
+wall-clock speedup floor (2x, deliberately far below the ≈ 3.8–4.3x
+measured on quiet hardware — see docs/performance.md) is asserted only
+when ``REPRO_BENCH_ASSERT_SPEEDUP=1``, because a one-shot timing on a
+noisy shared runner is a structural flake source for unrelated pushes.
+The nightly lane sets the knob; the per-push lane just prints the table.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.algorithms.base import make_automata
+from repro.algorithms.registry import get_factory
+from repro.analysis.metrics import check_agreement, check_validity
+from repro.analysis.sweep import SweepRecord, run_case
+from repro.analysis.tables import format_table
+from repro.engine.grids import DEFAULT_SWEEP_ALGORITHMS
+from repro.model.schedule import Schedule
+from repro.sim.kernel import execute, execute_reference
+from repro.sim.random_schedules import random_es_schedule
+
+from conftest import emit
+
+#: The microbench systems: the familiar small-n shape and the large-n
+#: shape the compiled kernel exists for.
+SYSTEMS = ((9, 4), (25, 8))
+SEED = 20260730
+
+
+def _bench_schedules(n: int, t: int):
+    """The two bench workloads: the paper's headline failure-free run and
+    a seeded random ES schedule (crashes, delays, losses)."""
+    horizon = max(12, 3 * t + 6)
+    return (
+        ("failure_free", Schedule.failure_free(n, t, horizon)),
+        ("random_es", random_es_schedule(n, t, SEED, horizon=horizon)),
+    )
+
+
+def _uncached_sync_from(schedule: Schedule) -> int:
+    """The pre-refactor synchrony scan, bypassing the sync_from memo."""
+    first_bad = 0
+    for k in range(1, schedule.horizon + 1):
+        if not schedule.is_synchronous_round(k):
+            first_bad = k
+    return first_bad + 1
+
+
+def _reference_case(
+    algorithm: str, workload: str, schedule: Schedule, proposals
+) -> SweepRecord:
+    """The pre-refactor per-case pipeline, reproduced faithfully:
+    query-at-a-time kernel, full trace, per-case synchrony scan."""
+    factory = get_factory(algorithm)
+    trace = execute_reference(
+        make_automata(factory, schedule.n, schedule.t, proposals), schedule
+    )
+    return SweepRecord(
+        algorithm=algorithm,
+        workload=workload,
+        n=schedule.n,
+        t=schedule.t,
+        crashes=len(schedule.crashes),
+        sync_from=_uncached_sync_from(schedule),
+        global_round=trace.global_decision_round(),
+        first_round=trace.first_decision_round(),
+        deciders=len(trace.decisions),
+        agreement_ok=not check_agreement(trace),
+        validity_ok=not check_validity(trace),
+        messages=trace.message_count(),
+        horizon=schedule.horizon,
+        correct_undecided=sum(
+            1 for pid in schedule.correct if pid not in trace.decisions
+        ),
+    )
+
+
+def _assert_equivalent() -> int:
+    """Compiled output must equal reference output, case for case."""
+    checked = 0
+    for n, t in SYSTEMS:
+        proposals = list(range(n))
+        for workload, schedule in _bench_schedules(n, t):
+            for algorithm in DEFAULT_SWEEP_ALGORITHMS:
+                factory = get_factory(algorithm)
+                reference = execute_reference(
+                    make_automata(factory, n, t, proposals), schedule
+                )
+                compiled = execute(
+                    make_automata(factory, n, t, proposals), schedule,
+                    trace="full",
+                )
+                assert compiled == reference, (
+                    f"compiled full trace diverged from the reference "
+                    f"kernel: {algorithm} on {workload} (n={n}, t={t})"
+                )
+                ref_record = _reference_case(
+                    algorithm, workload, schedule, proposals
+                )
+                lean_record, _trace = run_case(
+                    algorithm, factory, workload, schedule, proposals,
+                    trace_mode="lean",
+                )
+                assert lean_record == ref_record, (
+                    f"lean record diverged from the reference pipeline: "
+                    f"{algorithm} on {workload} (n={n}, t={t})"
+                )
+                checked += 1
+    return checked
+
+
+@pytest.mark.smoke
+def test_compiled_kernel_matches_reference(benchmark):
+    checked = benchmark.pedantic(_assert_equivalent, rounds=1, iterations=1)
+    assert checked == len(SYSTEMS) * 2 * len(DEFAULT_SWEEP_ALGORITHMS)
+
+
+def _per_case_seconds(arm, schedules, repeats: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for workload, schedule in schedules:
+            for algorithm in DEFAULT_SWEEP_ALGORITHMS:
+                arm(algorithm, workload, schedule)
+    cases = repeats * len(schedules) * len(DEFAULT_SWEEP_ALGORITHMS)
+    return (time.perf_counter() - start) / cases
+
+
+def speedup_rows():
+    """Measured per-case wall-clock, pre-refactor pipeline vs compiled."""
+    rows = []
+    for n, t in SYSTEMS:
+        proposals = list(range(n))
+        schedules = _bench_schedules(n, t)
+
+        def reference_arm(algorithm, workload, schedule):
+            _reference_case(algorithm, workload, schedule, proposals)
+
+        def full_arm(algorithm, workload, schedule):
+            run_case(algorithm, get_factory(algorithm), workload,
+                     schedule, proposals, trace_mode="full")
+
+        def lean_arm(algorithm, workload, schedule):
+            run_case(algorithm, get_factory(algorithm), workload,
+                     schedule, proposals, trace_mode="lean")
+
+        lean_arm("att2", *schedules[0])  # warm the compile memos once
+        repeats = 3 if n < 20 else 2
+        ref = _per_case_seconds(reference_arm, schedules, repeats)
+        full = _per_case_seconds(full_arm, schedules, repeats)
+        lean = _per_case_seconds(lean_arm, schedules, repeats)
+        rows.append((
+            n, t,
+            f"{ref * 1e3:.2f}",
+            f"{full * 1e3:.2f}",
+            f"{lean * 1e3:.2f}",
+            f"{ref / full:.2f}x",
+            f"{ref / lean:.2f}x",
+        ))
+    return rows
+
+
+@pytest.mark.smoke
+def test_compiled_kernel_speedup(benchmark):
+    rows = benchmark.pedantic(speedup_rows, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["n", "t", "reference ms/case", "compiled-full ms/case",
+             "compiled-lean ms/case", "full speedup", "lean speedup"],
+            rows,
+            title="Kernel microbench: per-case cost, pre-refactor vs "
+                  "compiled (5 stock algorithms, ff + random ES)",
+        )
+    )
+    # Timing floors only where the operator opted in (nightly lane):
+    # a one-shot measurement on a shared runner must not fail pushes.
+    # See docs/performance.md for reference numbers on quiet hardware
+    # (≈ 3.8–4.3x lean at n = 25; the floor leaves generous headroom).
+    if os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") == "1":
+        for row in rows:
+            n, lean_speedup = row[0], float(row[6].rstrip("x"))
+            if n >= 20:
+                assert lean_speedup >= 2.0, (
+                    f"lean compiled kernel only {lean_speedup:.2f}x "
+                    f"faster than the reference pipeline at n={n}"
+                )

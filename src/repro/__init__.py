@@ -65,7 +65,14 @@ from repro.engine import (
 from repro.model import CrashSpec, Message, Schedule, ScheduleBuilder
 from repro.model.es import check_es, enforce_es, is_es
 from repro.model.scs import check_scs, enforce_scs, is_scs
-from repro.sim import RoundRecord, Trace, execute
+from repro.sim import (
+    CompiledSchedule,
+    LeanTrace,
+    RoundRecord,
+    Trace,
+    compile_schedule,
+    execute,
+)
 from repro.sim.kernel import run_algorithm
 from repro.types import BOTTOM, is_bottom
 
@@ -81,7 +88,8 @@ __all__ = [
     "Schedule", "ScheduleBuilder", "CrashSpec", "Message",
     "check_es", "enforce_es", "is_es", "check_scs", "enforce_scs", "is_scs",
     # simulation
-    "execute", "run_algorithm", "Trace", "RoundRecord",
+    "execute", "run_algorithm", "Trace", "LeanTrace", "RoundRecord",
+    "CompiledSchedule", "compile_schedule",
     # batch engine
     "BatchResult", "Case", "GridSpec", "expand_grid", "run_batch",
     # values

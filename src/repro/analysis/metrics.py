@@ -8,6 +8,12 @@ The three consensus properties (paper, Section 1.3):
 * **termination** — every correct process eventually decides; over a
   finite trace this means "within the simulated horizon", so termination
   checks are only meaningful on schedules whose horizon is generous enough.
+
+Every checker accepts either trace kind — the full per-round
+:class:`~repro.sim.trace.Trace` or the decision-level
+:class:`~repro.sim.trace.LeanTrace` — and produces identical results for
+the same run: the properties are functions of proposals and decisions
+only, which both kinds carry.
 """
 
 from __future__ import annotations
@@ -15,11 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConsensusViolation
-from repro.sim.trace import Trace
+from repro.sim.trace import AnyTrace
 from repro.types import Round, Value
 
 
-def check_validity(trace: Trace) -> list[str]:
+def check_validity(trace: AnyTrace) -> list[str]:
     """Violations of validity: decided values that nobody proposed."""
     proposed = set(trace.proposals)
     problems = []
@@ -32,7 +38,7 @@ def check_validity(trace: Trace) -> list[str]:
     return problems
 
 
-def check_agreement(trace: Trace) -> list[str]:
+def check_agreement(trace: AnyTrace) -> list[str]:
     """Violations of uniform agreement: two processes deciding differently."""
     values = trace.decided_values()
     if len(values) <= 1:
@@ -44,7 +50,7 @@ def check_agreement(trace: Trace) -> list[str]:
     return [f"uniform agreement: {len(values)} distinct decisions ({detail})"]
 
 
-def check_termination(trace: Trace) -> list[str]:
+def check_termination(trace: AnyTrace) -> list[str]:
     """Violations of termination: correct processes undecided at the horizon."""
     problems = []
     for pid in sorted(trace.schedule.correct):
@@ -57,7 +63,7 @@ def check_termination(trace: Trace) -> list[str]:
 
 
 def check_consensus(
-    trace: Trace, *, expect_termination: bool = True
+    trace: AnyTrace, *, expect_termination: bool = True
 ) -> list[str]:
     """All consensus violations exhibited by the trace."""
     problems = check_validity(trace) + check_agreement(trace)
@@ -66,7 +72,9 @@ def check_consensus(
     return problems
 
 
-def assert_consensus(trace: Trace, *, expect_termination: bool = True) -> Trace:
+def assert_consensus(
+    trace: AnyTrace, *, expect_termination: bool = True
+) -> AnyTrace:
     """Raise :class:`ConsensusViolation` if the trace violates consensus."""
     problems = check_consensus(trace, expect_termination=expect_termination)
     if problems:
@@ -93,7 +101,7 @@ class DecisionSummary:
         return self.deciders > 0 and self.global_round is not None
 
 
-def summarize(trace: Trace) -> DecisionSummary:
+def summarize(trace: AnyTrace) -> DecisionSummary:
     return DecisionSummary(
         n=trace.n,
         t=trace.t,

@@ -17,7 +17,7 @@ from repro.algorithms.base import AlgorithmFactory
 from repro.analysis.metrics import check_agreement, check_validity
 from repro.model.schedule import Schedule
 from repro.sim.kernel import run_algorithm
-from repro.sim.trace import Trace
+from repro.sim.trace import AnyTrace
 from repro.types import Round, Value
 
 
@@ -73,9 +73,20 @@ def run_case(
     workload: str,
     schedule: Schedule,
     proposals: Sequence[Value],
-) -> tuple[SweepRecord, Trace]:
-    """Run one case and record its metrics (returns the trace for reuse)."""
-    trace = run_algorithm(factory, schedule, proposals)
+    *,
+    trace_mode: str = "full",
+) -> tuple[SweepRecord, AnyTrace]:
+    """Run one case and record its metrics (returns the trace for reuse).
+
+    ``trace_mode`` selects the kernel's trace kind (see
+    :func:`repro.sim.kernel.execute`): ``"full"`` returns the complete
+    per-round :class:`~repro.sim.trace.Trace`, ``"lean"`` the
+    decision-level :class:`~repro.sim.trace.LeanTrace`.  The record is
+    byte-identical either way — every metric it carries is derivable
+    from both kinds — so callers that discard the trace should prefer
+    ``"lean"`` (the engine does).
+    """
+    trace = run_algorithm(factory, schedule, proposals, trace=trace_mode)
     record = SweepRecord(
         algorithm=algorithm,
         workload=workload,

@@ -7,14 +7,18 @@ Commands:
   optionally as a space-time diagram.
 * ``experiments`` — print the compact experiment tables (the full,
   asserted versions live in ``benchmarks/``).
-* ``sweep`` — execute a declarative case grid (stock, or loaded from a
-  versioned ``--grid`` JSON file) on the batch engine
-  (:mod:`repro.engine`), on a selectable execution backend, optionally
-  as one shard of a distributed run.
+* ``sweep`` — execute a declarative case grid (stock, from a versioned
+  ``--grid`` JSON file or directory of them, or a named ``--profile``)
+  on the batch engine (:mod:`repro.engine`), on a selectable execution
+  backend and kernel trace mode, optionally as one shard of a
+  distributed run.
 * ``merge`` — recombine per-shard ``--json`` exports into the
   whole-grid result.
+* ``grid validate`` — lint grid JSON files (or directories of them)
+  without running anything.
 * ``cache stats`` — inspect a result-cache directory (entries, bytes,
-  lifetime hit rate).
+  lifetime hit rate, last gc).
+* ``cache gc`` — evict cache entries by age and/or LRU size bound.
 
 Examples::
 
@@ -29,8 +33,12 @@ Examples::
     python -m repro sweep --save-grid grid.json
     python -m repro sweep --grid grid.json --backend threads \
         --shard 0/2 --json shard0.json
+    python -m repro sweep --grid experiments/ --json all.json
+    python -m repro sweep --profile large --trace lean
     python -m repro merge shard0.json shard1.json --json whole.json
+    python -m repro grid validate experiments/
     python -m repro cache stats .sweep-cache
+    python -m repro cache gc .sweep-cache --max-age 30 --max-bytes 50000000
 
 The ``sweep`` grid schema
 -------------------------
@@ -59,6 +67,24 @@ families plus the five structured workloads of experiment E5 — sized by
 run as a versioned JSON file and ``--grid grid.json`` runs one, so
 experiment definitions can be shared and diffed without touching Python
 (the file round-trips ``GridSpec.to_data``/``from_data`` losslessly).
+``--grid DIR`` runs every ``*.json`` grid in the directory (sorted by
+name) as one combined sweep: case indices are offset per grid and
+workload labels prefixed with the grid file's stem, so the single
+``--json`` export merges all grids canonically.  ``--profile large``
+runs the stock large-n preset (n = 25 and n = 50, long horizons) the
+same way.  ``repro grid validate FILE_OR_DIR...`` lints grid files for
+CI without executing them.
+
+Trace modes
+-----------
+
+``--trace {full,lean}`` selects the kernel's trace mode
+(:func:`repro.sim.kernel.execute`).  ``lean`` — the sweep default —
+skips all per-round trace records and materializes only decisions and
+counters, which is everything a sweep record consumes; ``full`` drives
+the automata identically but keeps the complete per-round
+:class:`~repro.sim.trace.Trace` alive while each case runs.  Records,
+exports and cache entries are **byte-identical** across modes.
 
 Backends and shards
 -------------------
@@ -250,33 +276,92 @@ _GRID_SHAPE_FLAGS = (
 )
 
 
-def _load_grid(args):
-    """The grid to sweep: ``--grid FILE``, or the stock grid from flags."""
-    from repro.engine import GridError, GridSpec, default_sweep_grid
+def _grid_paths(directory: str) -> list[str]:
+    """Every ``*.json`` grid file in *directory*, sorted by name.
+
+    The one definition of "which files make up a grid directory" —
+    shared by ``sweep --grid DIR`` and ``grid validate DIR`` so the two
+    commands can never disagree about what constitutes the experiment.
+    An empty directory is a clean error, not an empty sweep.
+    """
+    import glob as globmod
+
+    paths = sorted(globmod.glob(os.path.join(directory, "*.json")))
+    if not paths:
+        raise SystemExit(
+            f"no *.json grid files in directory {directory!r}"
+        )
+    return paths
+
+
+def _load_grid_file(path: str):
+    """One validated grid from *path* (clean exits on any problem)."""
+    from repro.engine import GridError, GridSpec
+
+    try:
+        return GridSpec.load(path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read --grid {path!r}: {exc}")
+    except GridError as exc:
+        raise SystemExit(f"invalid --grid {path!r}: {exc}")
+
+
+def _reject_shape_flags(args, option: str, *, allow_seed: bool = False):
+    """Fail when grid-shaping flags were passed next to *option*."""
+    explicit = [
+        flag for flag, attr in _GRID_SHAPE_FLAGS
+        if getattr(args, attr) is not None
+        and not (allow_seed and attr == "seed")
+    ]
+    if explicit:
+        raise SystemExit(
+            f"{option} and {', '.join(explicit)} are mutually exclusive: "
+            f"{option} already defines the experiment"
+        )
+
+
+def _load_grids(args) -> list:
+    """The labelled grids to sweep, as ``(label, GridSpec)`` pairs.
+
+    A single grid (stock flags, or ``--grid FILE``) gets label ``None``
+    and runs exactly as before.  Multiple grids — ``--grid DIR`` (every
+    ``*.json``, sorted by name) or ``--profile NAME`` — are combined
+    into one sweep: the caller offsets case indices per grid and
+    prefixes workload labels with the grid label, so one export holds
+    the merged result.
+    """
+    from repro.engine import GridError, default_sweep_grid, profile_grids
     from repro.engine.grids import DEFAULT_SWEEP_ALGORITHMS
 
-    if args.grid:
-        explicit = [
-            flag for flag, attr in _GRID_SHAPE_FLAGS
-            if getattr(args, attr) is not None
-        ]
-        if explicit:
-            raise SystemExit(
-                f"--grid and {', '.join(explicit)} are mutually exclusive: "
-                f"the grid file already defines the experiment"
-            )
+    if args.grid and args.profile:
+        raise SystemExit("--grid and --profile are mutually exclusive")
+    if args.profile:
+        # --seed stays available: a profile fixes the experiment's shape,
+        # not its randomness.
+        _reject_shape_flags(args, "--profile", allow_seed=True)
         try:
-            return GridSpec.load(args.grid)
-        except OSError as exc:
-            raise SystemExit(f"cannot read --grid {args.grid!r}: {exc}")
+            return profile_grids(
+                args.profile,
+                seed=args.seed if args.seed is not None else 0,
+            )
         except GridError as exc:
-            raise SystemExit(f"invalid --grid {args.grid!r}: {exc}")
+            raise SystemExit(str(exc))
+    if args.grid:
+        _reject_shape_flags(args, "--grid")
+        if os.path.isdir(args.grid):
+            grids = [
+                (os.path.splitext(os.path.basename(path))[0],
+                 _load_grid_file(path))
+                for path in _grid_paths(args.grid)
+            ]
+            return grids if len(grids) > 1 else [(None, grids[0][1])]
+        return [(None, _load_grid_file(args.grid))]
     algorithms = (
         tuple(name.strip() for name in args.algorithms.split(",") if name)
         if args.algorithms
         else DEFAULT_SWEEP_ALGORITHMS
     )
-    return default_sweep_grid(
+    return [(None, default_sweep_grid(
         args.n if args.n is not None else 5,
         args.t if args.t is not None else 2,
         seed=args.seed if args.seed is not None else 0,
@@ -287,7 +372,37 @@ def _load_grid(args):
             else 12
         ),
         proposal_mode=args.proposals_mode or "random",
-    )
+    ))]
+
+
+def _expand_grids(grids) -> list:
+    """The combined case list of one or more labelled grids.
+
+    A single grid expands exactly as always.  Multiple grids are
+    concatenated with per-grid index offsets (keeping case indices
+    unique, the invariant every merge and shard contract rests on) and
+    workload labels prefixed with the grid label, so records remain
+    attributable in the combined export.
+    """
+    from dataclasses import replace
+
+    from repro.engine import expand_grid
+
+    cases = []
+    for label, grid in grids:
+        expanded = expand_grid(grid)
+        if len(grids) > 1:
+            offset = len(cases)
+            expanded = [
+                replace(
+                    case,
+                    index=case.index + offset,
+                    workload=f"{label}:{case.workload}",
+                )
+                for case in expanded
+            ]
+        cases.extend(expanded)
+    return cases
 
 
 def _cmd_sweep(args) -> int:
@@ -295,14 +410,13 @@ def _cmd_sweep(args) -> int:
         AlgorithmSummary,
         ExecutorError,
         ResultCache,
-        expand_grid,
         resolve_executor,
         run_batch,
     )
 
     workers = _parse_workers(args)
     shard = _parse_shard(args)
-    grid = _load_grid(args)
+    grids = _load_grids(args)
     try:
         executor = resolve_executor(args.backend, workers=workers)
     except ExecutorError as exc:
@@ -310,9 +424,14 @@ def _cmd_sweep(args) -> int:
     if args.json:
         _ensure_writable(args.json)
     if args.save_grid:
+        if len(grids) > 1:
+            raise SystemExit(
+                "--save-grid writes a single grid file; it cannot "
+                "represent a multi-grid sweep (--grid DIR / --profile)"
+            )
         _ensure_writable(args.save_grid, flag="--save-grid")
         try:
-            grid.save(args.save_grid)
+            grids[0][1].save(args.save_grid)
         except OSError as exc:
             raise SystemExit(
                 f"cannot write --save-grid {args.save_grid!r}: {exc}"
@@ -326,23 +445,41 @@ def _cmd_sweep(args) -> int:
                 f"cannot use --cache directory {args.cache!r}: {exc}"
             )
 
-    cases = expand_grid(grid)
+    cases = _expand_grids(grids)
+    total = len(cases)
     if shard is not None:
         cases = shard.select(cases)
-        sharding = f", {shard.describe()} of {grid.case_count}"
+        sharding = f", {shard.describe()} of {total}"
     else:
         sharding = ""
+    if len(grids) == 1:
+        _label, grid = grids[0]
+        shape = (
+            f"{len(grid.algorithms)} algorithms x "
+            f"{sum(f.count for f in grid.families)} schedules{sharding}), "
+            f"seed={grid.seed}"
+        )
+        title = f"Batch sweep (n={grid.n}, t={grid.t})"
+    else:
+        shape = (
+            ", ".join(
+                f"{label}: n={grid.n}/t={grid.t}" for label, grid in grids
+            )
+            + sharding + ")"
+        )
+        title = f"Batch sweep ({len(grids)} grids)"
     print(
-        f"sweep: {len(cases)} cases ({len(grid.algorithms)} algorithms x "
-        f"{sum(f.count for f in grid.families)} schedules{sharding}), "
-        f"seed={grid.seed}, backend={executor.name}"
+        f"sweep: {len(cases)} cases ({shape}, "
+        f"backend={executor.name}, trace={args.trace}"
     )
-    result = run_batch(cases, executor=executor, cache=cache)
+    result = run_batch(
+        cases, executor=executor, cache=cache, trace=args.trace
+    )
     rows = [summary.row() for summary in result.summaries()]
     print()
     print(format_table(
         list(AlgorithmSummary.ROW_HEADERS), rows,
-        title=f"Batch sweep (n={grid.n}, t={grid.t})",
+        title=title,
     ))
     if cache is not None:
         print(f"\n{cache.describe()}")
@@ -395,7 +532,9 @@ def _cmd_merge(args) -> int:
 
 
 def _cmd_cache_stats(args) -> int:
-    """Report entry count, size and lifetime hit rate of a cache dir."""
+    """Report entry count, size, lifetime hit rate and last gc of a cache."""
+    import time
+
     from repro.engine import cache_stats
 
     try:
@@ -419,12 +558,87 @@ def _cmd_cache_stats(args) -> int:
             f"{extras} over {stats['sweeps']} sweeps "
             f"(hit rate {100 * stats['hit_rate']:.1f}%)"
         )
+    last_gc = stats.get("last_gc")
+    if last_gc:
+        when = time.strftime(
+            "%Y-%m-%d %H:%M:%S UTC", time.gmtime(last_gc.get("at", 0))
+        )
+        print(
+            f"last gc: removed {last_gc.get('removed', 0)} entries "
+            f"({last_gc.get('removed_bytes', 0)} bytes) at {when}"
+        )
+    else:
+        print("last gc: never")
+    return 0
+
+
+def _cmd_cache_gc(args) -> int:
+    """Evict cache entries by age and/or LRU size bound."""
+    from repro.engine import cache_gc
+
+    if args.max_age is None and args.max_bytes is None:
+        raise SystemExit(
+            "cache gc needs at least one bound: --max-age DAYS and/or "
+            "--max-bytes N"
+        )
+    try:
+        summary = cache_gc(
+            args.directory,
+            max_age_days=args.max_age,
+            max_bytes=args.max_bytes,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    except OSError as exc:
+        raise SystemExit(f"cannot gc cache directory: {exc}")
+    print(
+        f"cache gc {args.directory}: removed {summary['removed']} entries "
+        f"({summary['removed_bytes']} bytes); {summary['remaining']} "
+        f"entries ({summary['remaining_bytes']} bytes) remain"
+    )
     return 0
 
 
 def _cmd_cache(args) -> int:
-    handlers = {"stats": _cmd_cache_stats}
+    handlers = {"stats": _cmd_cache_stats, "gc": _cmd_cache_gc}
     return handlers[args.cache_command](args)
+
+
+def _cmd_grid_validate(args) -> int:
+    """Lint grid files (or directories of them) without running anything."""
+    from repro.engine import GridError, GridSpec
+
+    paths = []
+    for target in args.paths:
+        if os.path.isdir(target):
+            paths.extend(_grid_paths(target))
+        else:
+            paths.append(target)
+    invalid = 0
+    for path in paths:
+        try:
+            grid = GridSpec.load(path)
+        except OSError as exc:
+            print(f"INVALID {path}: cannot read: {exc}")
+            invalid += 1
+        except GridError as exc:
+            print(f"INVALID {path}: {exc}")
+            invalid += 1
+        else:
+            print(
+                f"ok      {path}: {len(grid.algorithms)} algorithms x "
+                f"{sum(f.count for f in grid.families)} schedules = "
+                f"{grid.case_count} cases (n={grid.n}, t={grid.t})"
+            )
+    if invalid:
+        print(f"\n{invalid} of {len(paths)} grid files invalid")
+        return 1
+    return 0
+
+
+def _cmd_grid(args) -> int:
+    handlers = {"validate": _cmd_grid_validate}
+    return handlers[args.grid_command](args)
 
 
 def _cmd_experiments(_args) -> int:
@@ -471,7 +685,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--grid", default="",
         help="run a grid spec from this JSON file (see --save-grid) "
-             "instead of building the stock grid from flags",
+             "instead of building the stock grid from flags; a directory "
+             "runs every *.json grid in it as one combined sweep",
+    )
+    sweep_parser.add_argument(
+        "--profile", default="",
+        help="run a stock multi-grid preset (large: n=25 and n=50 with "
+             "long horizons); mutually exclusive with --grid and the "
+             "grid-shaping flags (except --seed)",
+    )
+    sweep_parser.add_argument(
+        "--trace", choices=("full", "lean"), default="lean",
+        help="kernel trace mode (default lean: skip per-round trace "
+             "records; output is byte-identical either way)",
     )
     sweep_parser.add_argument(
         "--save-grid", default="",
@@ -539,18 +765,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the merged result to this JSON file",
     )
 
+    grid_parser = sub.add_parser(
+        "grid",
+        help="work with versioned grid spec files",
+    )
+    grid_sub = grid_parser.add_subparsers(
+        dest="grid_command", required=True
+    )
+    validate_parser = grid_sub.add_parser(
+        "validate",
+        help="lint grid JSON files (or directories of them) without "
+             "running anything",
+    )
+    validate_parser.add_argument(
+        "paths", nargs="+",
+        help="grid files and/or directories containing *.json grids",
+    )
+
     cache_parser = sub.add_parser(
         "cache",
-        help="inspect a result-cache directory",
+        help="inspect or collect a result-cache directory",
     )
     cache_sub = cache_parser.add_subparsers(
         dest="cache_command", required=True
     )
     stats_parser = cache_sub.add_parser(
         "stats",
-        help="entry count, total bytes and lifetime hit rate",
+        help="entry count, total bytes, lifetime hit rate and last gc",
     )
     stats_parser.add_argument("directory", help="cache directory to inspect")
+    gc_parser = cache_sub.add_parser(
+        "gc",
+        help="evict entries by age (--max-age) and/or LRU size bound "
+             "(--max-bytes); eviction only ever costs recomputation",
+    )
+    gc_parser.add_argument("directory", help="cache directory to collect")
+    gc_parser.add_argument(
+        "--max-age", type=float, default=None, metavar="DAYS",
+        help="remove entries older than this many days",
+    )
+    gc_parser.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="then remove oldest entries until at most N bytes remain",
+    )
     return parser
 
 
@@ -562,6 +819,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiments": _cmd_experiments,
         "sweep": _cmd_sweep,
         "merge": _cmd_merge,
+        "grid": _cmd_grid,
         "cache": _cmd_cache,
     }
     return handlers[args.command](args)

@@ -19,7 +19,7 @@ canonically.  A :class:`~repro.engine.cache.ResultCache` can be threaded
 through the runners so repeated grids only execute cache misses.
 """
 
-from repro.engine.cache import ResultCache, cache_stats
+from repro.engine.cache import ResultCache, cache_gc, cache_stats
 from repro.engine.cases import Case, cases_from
 from repro.engine.executors import (
     BACKENDS,
@@ -35,6 +35,7 @@ from repro.engine.executors import (
 from repro.engine.grids import (
     DEFAULT_SWEEP_ALGORITHMS,
     GRID_FORMAT_VERSION,
+    SWEEP_PROFILES,
     FamilySpec,
     GridError,
     GridSpec,
@@ -44,6 +45,7 @@ from repro.engine.grids import (
     expand_family,
     expand_grid,
     family,
+    profile_grids,
 )
 from repro.engine.results import AlgorithmSummary, BatchResult
 from repro.engine.runner import run_batch, run_cases
@@ -65,6 +67,8 @@ __all__ = [
     "ShardSpec",
     "ThreadExecutor",
     "DEFAULT_SWEEP_ALGORITHMS",
+    "SWEEP_PROFILES",
+    "cache_gc",
     "cache_stats",
     "case_seed",
     "cases_from",
@@ -72,6 +76,7 @@ __all__ = [
     "expand_family",
     "expand_grid",
     "family",
+    "profile_grids",
     "execute_case",
     "resolve_executor",
     "resolve_workers",

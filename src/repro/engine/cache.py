@@ -31,6 +31,9 @@ written atomically (temp file + ``os.replace``) so concurrent sweeps may
 share a directory.  Corrupted, truncated or version-skewed entries are
 treated as misses and overwritten on the next store — a cache directory
 can always be deleted wholesale without losing anything but time.
+:func:`cache_gc` (CLI: ``repro cache gc``) evicts entries by age and/or
+LRU-by-mtime size bound, so long-lived shared directories stop growing
+without bound; the same recomputability makes any eviction safe.
 
 Uncacheable cases (explicit in-process factories, whose captured state
 cannot be fingerprinted; or algorithms whose source is unavailable) are
@@ -43,6 +46,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import asdict, replace
 from pathlib import Path
 
@@ -65,17 +69,53 @@ _STAT_KEYS = ("hits", "misses", "deduped", "store_failures", "sweeps")
 
 
 def _read_stats_file(path: "Path") -> dict:
-    """The accumulated counters in *path* (zeros when absent/corrupt)."""
+    """The accumulated counters in *path* (zeros when absent/corrupt).
+
+    Also carries the ``last_gc`` summary (:func:`cache_gc`) through, so
+    counter flushes never erase it; ``None`` when no gc ever ran.
+    """
     totals = {key: 0 for key in _STAT_KEYS}
+    totals["last_gc"] = None
     try:
         data = json.loads(path.read_text(encoding="utf-8"))
         for key in _STAT_KEYS:
             value = data.get(key, 0)
             if isinstance(value, int) and value >= 0:
                 totals[key] = value
+        last_gc = data.get("last_gc")
+        if isinstance(last_gc, dict):
+            totals["last_gc"] = last_gc
     except (OSError, ValueError, AttributeError):
         pass
     return totals
+
+
+def _is_entry_path(path: "Path") -> bool:
+    """True iff *path* has the exact shape of a cache entry.
+
+    Entries are always ``<2 hex>/<64 hex>.json`` with the directory
+    equal to the key's first two characters.  Everything that touches
+    entries in bulk — stats, gc — filters on this shape, so a mistyped
+    directory handed to the *destructive* ``cache gc`` can never match
+    (and therefore never delete) unrelated JSON files that merely live
+    in some two-character subdirectory.
+    """
+    stem = path.stem
+    prefix = path.parent.name
+    if len(stem) != 64 or not stem.startswith(prefix):
+        return False
+    try:
+        int(stem, 16)
+    except ValueError:
+        return False
+    return True
+
+
+def _entry_paths(root: "Path"):
+    """All cache-entry files under *root* (shape-filtered, see above)."""
+    return (
+        path for path in root.glob("??/*.json") if _is_entry_path(path)
+    )
 
 
 def cache_stats(directory: str | os.PathLike) -> dict:
@@ -91,7 +131,7 @@ def cache_stats(directory: str | os.PathLike) -> dict:
         raise OSError(f"not a cache directory: {directory}")
     entries = 0
     total_bytes = 0
-    for path in root.glob("??/*.json"):
+    for path in _entry_paths(root):
         try:
             total_bytes += path.stat().st_size
         except OSError:
@@ -105,6 +145,117 @@ def cache_stats(directory: str | os.PathLike) -> dict:
         hit_rate=stats["hits"] / lookups if lookups else None,
     )
     return stats
+
+
+def _write_stats_file(path: "Path", totals: dict) -> bool:
+    """Atomically replace *path* with *totals*; True on success."""
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(
+            json.dumps(totals, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        return False
+    return True
+
+
+def cache_gc(
+    directory: str | os.PathLike,
+    *,
+    max_age_days: float | None = None,
+    max_bytes: int | None = None,
+    now: float | None = None,
+) -> dict:
+    """Evict cache entries by age and/or total size (LRU by mtime).
+
+    Two independent bounds, either or both of which must be given:
+
+    * ``max_age_days`` — entries whose mtime is older than this many
+      days are removed unconditionally;
+    * ``max_bytes`` — after the age pass, the oldest-mtime entries are
+      removed until the surviving total is at most this many bytes (an
+      entry's mtime is when it was (re)stored, which for a
+      content-addressed cache is the natural recency signal).
+
+    Eviction is always safe: every entry is recomputable, so a gc can at
+    worst cost recomputation time, and entries that vanish mid-scan
+    (concurrent sweeps) are skipped silently.  The gc summary is folded
+    into the ``stats.json`` sidecar as ``last_gc`` — counter flushes
+    preserve it — so ``repro cache stats`` can report when the
+    directory was last collected.  Returns the summary dict:
+    ``removed`` / ``removed_bytes`` / ``remaining`` /
+    ``remaining_bytes`` / ``at`` (epoch seconds).
+
+    Raises ``ValueError`` when neither bound is given (a gc that can
+    never evict is a configuration error) or a bound is negative, and
+    ``OSError`` when *directory* is not a readable directory.
+    """
+    if max_age_days is None and max_bytes is None:
+        raise ValueError(
+            "cache_gc needs at least one bound: max_age_days or max_bytes"
+        )
+    if max_age_days is not None and max_age_days < 0:
+        raise ValueError(f"max_age_days must be >= 0, got {max_age_days}")
+    if max_bytes is not None and max_bytes < 0:
+        raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+    root = Path(directory)
+    if not root.is_dir():
+        raise OSError(f"not a cache directory: {directory}")
+    if now is None:
+        now = time.time()
+
+    entries = []
+    for path in _entry_paths(root):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue  # entry vanished under a concurrent sweep
+        entries.append((stat.st_mtime, stat.st_size, path))
+    entries.sort(key=lambda item: (item[0], str(item[2])))
+
+    doomed = []
+    if max_age_days is not None:
+        cutoff = now - max_age_days * 86400.0
+        while entries and entries[0][0] < cutoff:
+            doomed.append(entries.pop(0))
+    if max_bytes is not None:
+        remaining_bytes = sum(size for _mtime, size, _path in entries)
+        while entries and remaining_bytes > max_bytes:
+            mtime, size, path = entries.pop(0)
+            doomed.append((mtime, size, path))
+            remaining_bytes -= size
+
+    removed = removed_bytes = 0
+    for mtime, size, path in doomed:
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            continue  # already collected by a concurrent gc
+        except OSError:
+            # Unwritable — skip, never fail, but count the survivor so
+            # the reported (and persisted) totals reflect the disk.
+            entries.append((mtime, size, path))
+            continue
+        removed += 1
+        removed_bytes += size
+
+    summary = {
+        "at": now,
+        "removed": removed,
+        "removed_bytes": removed_bytes,
+        "remaining": len(entries),
+        "remaining_bytes": sum(size for _mtime, size, _path in entries),
+    }
+    stats_path = root / STATS_FILE
+    totals = _read_stats_file(stats_path)
+    totals["last_gc"] = summary
+    _write_stats_file(stats_path, totals)
+    return summary
 
 #: Key-scheme tag mixed into every key; bumped whenever key semantics change.
 KEY_SCHEME = "repro-sweep-cache-v1"
@@ -264,7 +415,7 @@ class ResultCache:
 
     def entry_count(self) -> int:
         """Number of entries currently on disk."""
-        return sum(1 for _ in self.directory.glob("??/*.json"))
+        return sum(1 for _ in _entry_paths(self.directory))
 
     def flush_stats(self) -> None:
         """Fold this cache's session counters into ``directory/stats.json``.
@@ -287,21 +438,11 @@ class ResultCache:
         totals["deduped"] += self.deduped
         totals["store_failures"] += self.store_failures
         totals["sweeps"] += 1
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        try:
-            tmp.write_text(
-                json.dumps(totals, sort_keys=True) + "\n", encoding="utf-8"
-            )
-            os.replace(tmp, path)
-        except OSError:
-            self.store_failures += 1
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
-        else:
+        if _write_stats_file(path, totals):
             self.hits = self.misses = self.deduped = 0
             self.store_failures = 0
+        else:
+            self.store_failures += 1
 
     def describe(self) -> str:
         """One-line hit/miss summary, e.g. for the sweep CLI.

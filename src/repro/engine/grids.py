@@ -496,6 +496,36 @@ DEFAULT_SWEEP_ALGORITHMS = (
 )
 
 
+#: Stock sweep profiles: named multi-grid experiment presets for the CLI.
+#: ``large`` is the large-n configuration the compiled kernel exists for —
+#: n ∈ {25, 50} at t just under n/3 with the long horizons the stock
+#: formula derives (30 and 54 rounds); family counts shrink with n so the
+#: whole profile stays a minutes-not-hours run on one machine.
+SWEEP_PROFILES = ("large",)
+
+
+def profile_grids(
+    profile: str, *, seed: int = 0
+) -> list[tuple[str, GridSpec]]:
+    """The labelled grids of a named sweep profile (see ``--profile``).
+
+    Returns ``(label, grid)`` pairs; the CLI runs them as one combined
+    sweep (indices offset per grid, workloads prefixed with the label)
+    so the export is a single mergeable file.
+    """
+    if profile == "large":
+        return [
+            ("n25", default_sweep_grid(25, 8, seed=seed,
+                                       cases_per_family=4)),
+            ("n50", default_sweep_grid(50, 16, seed=seed,
+                                       cases_per_family=2)),
+        ]
+    raise GridError(
+        f"unknown sweep profile {profile!r}; known: "
+        + ", ".join(SWEEP_PROFILES)
+    )
+
+
 def default_sweep_grid(
     n: int = 5,
     t: int = 2,

@@ -130,6 +130,7 @@ def run_cases(
     workers=_UNSET,
     on_record: OnRecord | None = None,
     cache: "ResultCache | None" = None,
+    trace: str | None = None,
 ) -> list[SweepRecord]:
     """Execute *cases* and return their records in canonical case order.
 
@@ -148,9 +149,19 @@ def run_cases(
         cache: optional :class:`~repro.engine.cache.ResultCache`; hits
             skip the executor entirely, misses are executed and stored
             back.
+        trace: optional kernel trace-mode override stamped onto every
+            case (``"full"`` or ``"lean"``; ``None`` keeps each case's
+            own mode).  Records — and therefore exports and cache
+            entries — are byte-identical across modes; the flag only
+            selects how much the kernel materializes along the way.
     """
     backend = _resolve_backend(executor, workers)
     cases = list(cases)  # tolerate one-shot iterators: we iterate twice
+    if trace is not None:
+        cases = [
+            case if case.trace == trace else replace(case, trace=trace)
+            for case in cases
+        ]
     _check_unique_indices(cases)
 
     indexed: list[tuple[int, SweepRecord]] = []
@@ -215,6 +226,7 @@ def run_batch(
     shard: ShardSpec | None = None,
     on_record: OnRecord | None = None,
     cache: "ResultCache | None" = None,
+    trace: str | None = None,
 ) -> BatchResult:
     """Expand (if needed) and execute a grid, returning the aggregate result.
 
@@ -222,7 +234,9 @@ def run_batch(
     (see :class:`~repro.engine.grids.ShardSpec`); the per-shard
     :class:`~repro.engine.results.BatchResult` exports recombine with
     :meth:`~repro.engine.results.BatchResult.merge` into exactly the
-    whole-grid result, regardless of backend or merge order.
+    whole-grid result, regardless of backend or merge order.  ``trace``
+    overrides every case's kernel trace mode (see :func:`run_cases`);
+    the result is byte-identical across modes.
     """
     backend = _resolve_backend(executor, workers)
     if isinstance(grid, GridSpec):
@@ -234,6 +248,6 @@ def run_batch(
     return BatchResult(
         records=tuple(
             run_cases(cases, executor=backend,
-                      on_record=on_record, cache=cache)
+                      on_record=on_record, cache=cache, trace=trace)
         )
     )

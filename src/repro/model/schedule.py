@@ -71,11 +71,23 @@ class CrashSpec:
                 )
 
     def delayed_delivery(self, receiver: ProcessId) -> Round | None:
-        """Delivery round of the crash-round message to *receiver*, if delayed."""
-        for rec, delivery in self.delayed:
-            if rec == receiver:
-                return delivery
-        return None
+        """Delivery round of the crash-round message to *receiver*, if delayed.
+
+        Backed by a lazily-built ``receiver -> round`` mapping (validators
+        and the schedule compiler ask this once per sender×receiver pair,
+        so a linear scan over ``delayed`` turns quadratic at large n).
+        The mapping is cached on the instance and rebuilt on demand after
+        unpickling (:meth:`__getstate__` strips caches).
+        """
+        mapping = self.__dict__.get("_delayed_map")
+        if mapping is None:
+            mapping = dict(self.delayed)
+            object.__setattr__(self, "_delayed_map", mapping)
+        return mapping.get(receiver)
+
+    def __getstate__(self) -> dict:
+        """Pickle only the dataclass fields, never the lazy caches."""
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
 
 
 @dataclass(frozen=True)
@@ -206,11 +218,19 @@ class Schedule:
 
         A fully synchronous schedule returns 1.  Scans down from the
         horizon; the result is the paper's (unknown-to-the-algorithm) K.
+        Memoized per instance (the scan is O(n² · horizon) and record
+        production asks for K once per case); the schedule compiler
+        (:mod:`repro.sim.compiled`) pre-seeds the cache as a by-product
+        of its delivery sweep.
         """
+        cached = self.__dict__.get("_sync_from_cache")
+        if cached is not None:
+            return cached
         first_bad = 0
         for k in range(1, self.horizon + 1):
             if not self.is_synchronous_round(k):
                 first_bad = k
+        object.__setattr__(self, "_sync_from_cache", first_bad + 1)
         return first_bad + 1
 
     def is_synchronous_run(self) -> bool:
@@ -289,6 +309,17 @@ class Schedule:
         if not isinstance(other, Schedule):
             return NotImplemented
         return self._key() == other._key()
+
+    def __getstate__(self) -> dict:
+        """Pickle only the dataclass fields, never the lazy caches.
+
+        Schedules memoize their digest, synchrony round and compiled
+        execution plan (:mod:`repro.sim.compiled`) on the instance; the
+        plan in particular is O(n² · horizon) and would dominate every
+        case pickled to a process-pool worker.  Workers recompute the
+        caches on first use.
+        """
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
 
     def __hash__(self) -> int:
         return hash(self._key())

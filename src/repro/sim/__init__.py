@@ -8,7 +8,18 @@ produce the identical trace, which the lower-bound machinery exploits to
 compare process *views* across runs.
 """
 
-from repro.sim.kernel import execute
-from repro.sim.trace import RoundRecord, Trace
+from repro.sim.compiled import CompiledSchedule, compile_schedule
+from repro.sim.kernel import TRACE_MODES, execute, execute_reference
+from repro.sim.trace import AnyTrace, LeanTrace, RoundRecord, Trace
 
-__all__ = ["execute", "RoundRecord", "Trace"]
+__all__ = [
+    "AnyTrace",
+    "CompiledSchedule",
+    "LeanTrace",
+    "RoundRecord",
+    "TRACE_MODES",
+    "Trace",
+    "compile_schedule",
+    "execute",
+    "execute_reference",
+]

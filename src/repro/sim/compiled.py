@@ -1,0 +1,170 @@
+"""Compiled adversary schedules: the kernel's pre-resolved execution plan.
+
+A declarative :class:`~repro.model.schedule.Schedule` answers point
+queries — ``sends_in_round``, ``completes_round``, ``delivery_round`` —
+each a method call over dict-backed crash/delay/loss tables.  The
+execution kernel used to issue O(n²) such calls *per round*, which is
+exactly the bookkeeping that made large-n sweeps impractical.
+
+:func:`compile_schedule` performs that resolution **once per schedule**
+and freezes the answers into a :class:`CompiledSchedule`:
+
+* ``senders[k]`` — the processes that send in round k (still up at the
+  start of the round);
+* ``completers[k]`` — the processes that survive the whole of round k;
+* ``inboxes[k][receiver]`` — the flat delivery plan: the canonically
+  ordered ``(sent_round, sender)`` pairs whose messages arrive at
+  *receiver* in round k.  Messages to receivers that leave the
+  computation before the delivery round are already filtered out, so
+  the kernel never buffers anything it would later drop;
+* ``crashed[k]`` — the processes crashing in round k (trace metadata).
+
+The plan captures everything the *schedule* contributes to a run; only
+the dynamic part — which processes have halted, and what payloads the
+automata produce — remains for the kernel's hot loop, whose per-round
+cost drops from O(n²) schedule method calls to plain list indexing.
+
+Compilation costs one O(n² · horizon) sweep — the same work as a single
+reference execution's bookkeeping — and is memoized on the schedule
+instance, so a grid running A algorithms against one schedule compiles
+once and executes A times.  As a by-product the sweep also computes the
+schedule's synchrony round K, pre-seeding the
+:meth:`~repro.model.schedule.Schedule.sync_from` cache that record
+production reads.  The memo is stripped from pickles
+(:meth:`~repro.model.schedule.Schedule.__getstate__`), so process-pool
+workers receive lean schedules and recompile locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.schedule import Schedule
+from repro.types import ProcessId, Round
+
+__all__ = ["CompiledSchedule", "compile_schedule"]
+
+
+@dataclass(frozen=True)
+class CompiledSchedule:
+    """A schedule's pre-resolved, per-round execution plan.
+
+    All per-round sequences are indexed directly by the 1-based round
+    number (index 0 is an unused placeholder), matching the kernel's
+    loop variable.
+
+    Attributes:
+        schedule: the schedule this plan was compiled from.
+        n: number of processes.
+        horizon: the compiled round horizon (``schedule.horizon``).
+        senders: per round, the processes that send (ascending pids).
+        completers: per round, the processes that complete the round's
+            receive phase per the schedule (ascending pids; dynamic
+            halting is the kernel's concern).
+        inboxes: per round and receiver, the ordered ``(sent_round,
+            sender)`` pairs delivered to that receiver in that round —
+            already sorted into the canonical delivery order and
+            filtered of messages whose receiver leaves the computation
+            before delivery.
+        crashed: per round, the processes crashing in that round.
+    """
+
+    schedule: Schedule
+    n: int
+    horizon: Round
+    senders: tuple[tuple[ProcessId, ...], ...]
+    completers: tuple[tuple[ProcessId, ...], ...]
+    inboxes: tuple[tuple[tuple[tuple[Round, ProcessId], ...], ...], ...]
+    crashed: tuple[frozenset[ProcessId], ...]
+
+
+def _compile(schedule: Schedule) -> CompiledSchedule:
+    n = schedule.n
+    horizon = schedule.horizon
+    crash_round = [schedule.crash_round(pid) for pid in range(n)]
+    never = horizon + 1
+    crash_at = [never if r is None else r for r in crash_round]
+
+    senders: list[tuple[ProcessId, ...]] = [()]
+    completers: list[tuple[ProcessId, ...]] = [()]
+    crashed: list[frozenset[ProcessId]] = [frozenset()]
+    inboxes: list[list[list[tuple[Round, ProcessId]]]] = [
+        [[] for _ in range(n)] for _ in range(horizon + 1)
+    ]
+    # sync_ok[k] goes False when round k violates the synchrony condition
+    # (a non-crash-round message to a completing receiver not arriving in
+    # its sending round) — the same predicate as
+    # Schedule.is_synchronous_round, folded into this sweep for free.
+    sync_ok = [True] * (horizon + 1)
+
+    delivery_round = schedule.delivery_round
+    for k in range(1, horizon + 1):
+        round_senders = tuple(
+            pid for pid in range(n) if crash_at[pid] >= k
+        )
+        round_completers = tuple(
+            pid for pid in range(n) if crash_at[pid] > k
+        )
+        senders.append(round_senders)
+        completers.append(round_completers)
+        crashed.append(
+            frozenset(pid for pid in range(n) if crash_at[pid] == k)
+        )
+        for sender in round_senders:
+            sender_crashes_now = crash_at[sender] == k
+            for receiver in range(n):
+                delivery = delivery_round(sender, receiver, k)
+                if (
+                    not sender_crashes_now
+                    and receiver != sender
+                    and crash_at[receiver] > k
+                    and delivery != k
+                ):
+                    sync_ok[k] = False
+                if delivery is None or delivery > horizon:
+                    continue
+                if crash_at[receiver] <= delivery:
+                    # The receiver leaves the computation before the
+                    # delivery round; the message can never be received.
+                    continue
+                inboxes[delivery][receiver].append((k, sender))
+
+    for k in range(1, horizon + 1):
+        for receiver in range(n):
+            inboxes[k][receiver].sort()
+
+    if schedule.__dict__.get("_sync_from_cache") is None:
+        first_bad = 0
+        for k in range(1, horizon + 1):
+            if not sync_ok[k]:
+                first_bad = k
+        object.__setattr__(schedule, "_sync_from_cache", first_bad + 1)
+
+    return CompiledSchedule(
+        schedule=schedule,
+        n=n,
+        horizon=horizon,
+        senders=tuple(senders),
+        completers=tuple(completers),
+        inboxes=tuple(
+            tuple(tuple(entries) for entries in per_receiver)
+            for per_receiver in inboxes
+        ),
+        crashed=tuple(crashed),
+    )
+
+
+def compile_schedule(schedule: Schedule) -> CompiledSchedule:
+    """The compiled execution plan for *schedule* (memoized per instance).
+
+    Schedules are immutable, so the plan is cached on the instance the
+    same way as :meth:`~repro.model.schedule.Schedule.digest` — shared
+    across every algorithm a grid runs against the schedule, and never
+    pickled (workers recompile on first use).
+    """
+    cached = schedule.__dict__.get("_compiled_cache")
+    if cached is not None:
+        return cached
+    plan = _compile(schedule)
+    object.__setattr__(schedule, "_compiled_cache", plan)
+    return plan

@@ -1,8 +1,9 @@
 """The deterministic round-based execution kernel.
 
 :func:`execute` runs one automaton per process against an adversary
-:class:`~repro.model.schedule.Schedule` and returns a complete
-:class:`~repro.sim.trace.Trace`.
+:class:`~repro.model.schedule.Schedule` and returns the run's trace — a
+complete :class:`~repro.sim.trace.Trace` (``trace="full"``) or a
+decision-level :class:`~repro.sim.trace.LeanTrace` (``trace="lean"``).
 
 Round structure (paper, Section 1.2): each round k has a send phase — every
 non-crashed, non-halted process broadcasts one payload, timestamped k — and
@@ -11,6 +12,14 @@ round-k messages the schedule delivers in round k, plus any earlier-round
 messages whose delayed delivery lands in round k.  A process that crashes
 in round k sends to the schedule-chosen subset and never executes the
 receive phase.
+
+Execution runs on a compiled plan (:mod:`repro.sim.compiled`): the
+schedule's send/completion/delivery structure is resolved once per
+schedule, so the per-round hot loop touches only flat tuples — no
+``sends_in_round``/``delivery_round``/``completes_round`` calls.  The
+original query-at-a-time loop is preserved verbatim as
+:func:`execute_reference`; the equivalence tests and the kernel
+microbenchmark hold the two byte-identical on full traces.
 
 The kernel is *model-agnostic*: it executes any schedule.  Whether the
 schedule obeys SCS or ES is checked separately by the validators in
@@ -25,31 +34,20 @@ from repro.algorithms.base import Automaton
 from repro.errors import SimulationError
 from repro.model.messages import DUMMY, Message, sort_delivery
 from repro.model.schedule import Schedule
-from repro.sim.trace import RoundRecord, Trace
+from repro.sim.compiled import compile_schedule
+from repro.sim.trace import AnyTrace, LeanTrace, RoundRecord, Trace
 from repro.types import ProcessId, Round, Value
 
+#: The supported ``trace=`` modes, in documentation order.
+TRACE_MODES = ("full", "lean")
 
-def execute(
-    automata: Sequence[Automaton],
-    schedule: Schedule,
-    *,
-    max_rounds: Round | None = None,
-    stop_when_quiescent: bool = True,
-) -> Trace:
-    """Execute one run and return its trace.
+#: Payload-grid sentinel: "this process did not send in this round".
+#: (``None`` cannot serve — the kernel substitutes DUMMY for it, and no
+#: payload may legitimately be the sentinel itself.)
+_NOT_SENT = object()
 
-    Args:
-        automata: one automaton per process, index = process id.
-        schedule: the adversary schedule; its ``horizon`` bounds the run.
-        max_rounds: optional tighter bound on the number of rounds.
-        stop_when_quiescent: stop early once every process has crashed or
-            halted (the run's outcome can no longer change).
 
-    Returns:
-        The complete trace.  The kernel never raises on non-termination —
-        a run that fails to decide simply ends at the horizon with missing
-        decisions, which the analysis layer reports.
-    """
+def _check_run(automata: Sequence[Automaton], schedule: Schedule) -> None:
     n = schedule.n
     if len(automata) != n:
         raise SimulationError(
@@ -61,9 +59,221 @@ def execute(
                 f"automaton at index {pid} reports pid {automaton.pid}"
             )
 
+
+def _bounded_horizon(schedule: Schedule, max_rounds: Round | None) -> Round:
     horizon = schedule.horizon
     if max_rounds is not None:
         horizon = min(horizon, max_rounds)
+    return horizon
+
+
+def execute(
+    automata: Sequence[Automaton],
+    schedule: Schedule,
+    *,
+    max_rounds: Round | None = None,
+    stop_when_quiescent: bool = True,
+    trace: str = "full",
+) -> AnyTrace:
+    """Execute one run and return its trace.
+
+    Args:
+        automata: one automaton per process, index = process id.
+        schedule: the adversary schedule; its ``horizon`` bounds the run.
+        max_rounds: optional tighter bound on the number of rounds.
+        stop_when_quiescent: stop early once every process has crashed or
+            halted (the run's outcome can no longer change).
+        trace: ``"full"`` records every round into a
+            :class:`~repro.sim.trace.Trace`; ``"lean"`` skips per-round
+            records and returns a :class:`~repro.sim.trace.LeanTrace`
+            carrying only what the metrics layer consumes.  Both modes
+            drive the automata identically, so decisions and metrics
+            never depend on the choice.
+
+    Returns:
+        The run's trace.  The kernel never raises on non-termination —
+        a run that fails to decide simply ends at the horizon with missing
+        decisions, which the analysis layer reports.
+    """
+    _check_run(automata, schedule)
+    if trace not in TRACE_MODES:
+        raise SimulationError(
+            f"unknown trace mode {trace!r}; known: " + ", ".join(TRACE_MODES)
+        )
+    plan = compile_schedule(schedule)
+    horizon = _bounded_horizon(schedule, max_rounds)
+    proposals = tuple(a.proposal for a in automata)
+    if trace == "lean":
+        return _execute_lean(
+            automata, schedule, plan, horizon, stop_when_quiescent, proposals
+        )
+    return _execute_full(
+        automata, schedule, plan, horizon, stop_when_quiescent, proposals
+    )
+
+
+def _execute_full(
+    automata, schedule, plan, horizon, stop_when_quiescent, proposals
+) -> Trace:
+    n = schedule.n
+    halted: set[ProcessId] = set()
+    decided_at: dict[ProcessId, tuple[Value, Round]] = {}
+    # payloads[pid][k] is what pid broadcast in round k (or _NOT_SENT).
+    payloads = [[_NOT_SENT] * (horizon + 1) for _ in range(n)]
+    records: list[RoundRecord] = []
+
+    for k in range(1, horizon + 1):
+        sent: dict[ProcessId, object | None] = dict.fromkeys(range(n))
+        decided_this_round: dict[ProcessId, Value] = {}
+        halted_this_round: set[ProcessId] = set()
+
+        # --- send phase ---------------------------------------------------
+        for pid in plan.senders[k]:
+            if pid in halted:
+                continue
+            payload = automata[pid].payload(k)
+            if payload is None:
+                payload = DUMMY
+            sent[pid] = payload
+            payloads[pid][k] = payload
+
+        # --- receive phase --------------------------------------------------
+        delivered: dict[ProcessId, tuple[Message, ...]] = {}
+        round_inboxes = plan.inboxes[k]
+        for pid in plan.completers[k]:
+            if pid in halted:
+                continue
+            inbox = tuple(
+                Message(
+                    sent_round=sent_round, sender=sender, receiver=pid,
+                    payload=payloads[sender][sent_round],
+                )
+                for sent_round, sender in round_inboxes[pid]
+                if payloads[sender][sent_round] is not _NOT_SENT
+            )
+            automaton = automata[pid]
+            automaton.deliver(k, inbox)
+            delivered[pid] = inbox
+            if automaton.decided and pid not in decided_at:
+                decided_at[pid] = (automaton.decision, k)
+                decided_this_round[pid] = automaton.decision
+            if automaton.halted:
+                halted_this_round.add(pid)
+
+        halted.update(halted_this_round)
+        records.append(
+            RoundRecord(
+                round=k,
+                sent=sent,
+                delivered=delivered,
+                decided=decided_this_round,
+                crashed=plan.crashed[k],
+                halted=frozenset(halted_this_round),
+            )
+        )
+
+        if stop_when_quiescent and all(
+            pid in halted for pid in plan.completers[k]
+        ):
+            break
+
+    return Trace(
+        schedule=schedule,
+        proposals=proposals,
+        rounds=tuple(records),
+        decisions=decided_at,
+    )
+
+
+def _execute_lean(
+    automata, schedule, plan, horizon, stop_when_quiescent, proposals
+) -> LeanTrace:
+    n = schedule.n
+    halted: set[ProcessId] = set()
+    halted_rounds: dict[ProcessId, Round] = {}
+    decided_at: dict[ProcessId, tuple[Value, Round]] = {}
+    payloads = [[_NOT_SENT] * (horizon + 1) for _ in range(n)]
+    message_count = 0
+    rounds_executed = 0
+    # The lean loop materializes messages without the frozen-dataclass
+    # constructor: per-field object.__setattr__ plus the per-message
+    # __post_init__ hashability probe are the single largest cost of a
+    # large-n round.  Equality, ordering and hashing of the resulting
+    # messages are unchanged (dataclass dunders read the instance dict);
+    # the hashability fail-fast moves to the send phase, paid once per
+    # payload instead of once per (payload, receiver).
+    new_message = Message.__new__
+
+    for k in range(1, horizon + 1):
+        rounds_executed = k
+
+        for pid in plan.senders[k]:
+            if pid in halted:
+                continue
+            payload = automata[pid].payload(k)
+            if payload is None:
+                payload = DUMMY
+            else:
+                hash(payload)  # fail fast on unhashable payloads
+            payloads[pid][k] = payload
+
+        round_inboxes = plan.inboxes[k]
+        for pid in plan.completers[k]:
+            if pid in halted:
+                continue
+            inbox = []
+            for sent_round, sender in round_inboxes[pid]:
+                payload = payloads[sender][sent_round]
+                if payload is _NOT_SENT:
+                    continue
+                message = new_message(Message)
+                message.__dict__.update(
+                    sent_round=sent_round, sender=sender,
+                    receiver=pid, payload=payload,
+                )
+                inbox.append(message)
+            inbox = tuple(inbox)
+            automaton = automata[pid]
+            automaton.deliver(k, inbox)
+            message_count += len(inbox)
+            if automaton.decided and pid not in decided_at:
+                decided_at[pid] = (automaton.decision, k)
+            if automaton.halted:
+                halted.add(pid)
+                halted_rounds[pid] = k
+
+        if stop_when_quiescent and all(
+            pid in halted for pid in plan.completers[k]
+        ):
+            break
+
+    return LeanTrace(
+        schedule=schedule,
+        proposals=proposals,
+        rounds_executed=rounds_executed,
+        decisions=decided_at,
+        halted_rounds=halted_rounds,
+        messages=message_count,
+    )
+
+
+def execute_reference(
+    automata: Sequence[Automaton],
+    schedule: Schedule,
+    *,
+    max_rounds: Round | None = None,
+    stop_when_quiescent: bool = True,
+) -> Trace:
+    """The original query-at-a-time kernel, kept as the oracle.
+
+    Semantically identical to ``execute(..., trace="full")`` but issues
+    O(n²) schedule method calls per round; the equivalence test suite
+    (``tests/sim/test_compiled.py``) and the ``kernel-bench`` CI lane
+    assert the compiled kernel's traces match this one exactly.
+    """
+    _check_run(automata, schedule)
+    n = schedule.n
+    horizon = _bounded_horizon(schedule, max_rounds)
 
     proposals = tuple(a.proposal for a in automata)
     halted: set[ProcessId] = set()
@@ -162,14 +372,15 @@ def run_algorithm(
     proposals: Sequence[Value],
     *,
     max_rounds: Round | None = None,
-) -> Trace:
+    trace: str = "full",
+) -> AnyTrace:
     """Convenience wrapper: build automata from *factory* and execute.
 
     Equivalent to ``execute(make_automata(factory, n, t, proposals),
     schedule)``; exists because nearly every test, bench and example starts
-    a run this way.
+    a run this way.  ``trace`` selects the trace mode (see :func:`execute`).
     """
     from repro.algorithms.base import make_automata
 
     automata = make_automata(factory, schedule.n, schedule.t, proposals)
-    return execute(automata, schedule, max_rounds=max_rounds)
+    return execute(automata, schedule, max_rounds=max_rounds, trace=trace)

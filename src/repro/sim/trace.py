@@ -198,3 +198,116 @@ def views_equal(
 ) -> bool:
     """True iff *pid* cannot distinguish the two runs through round *upto*."""
     return trace_a.view(pid, upto) == trace_b.view(pid, upto)
+
+
+@dataclass(frozen=True)
+class LeanTrace:
+    """The decision-level record of one run — everything metrics need,
+    nothing else.
+
+    Sweeps consume only decisions and aggregate counters, yet the kernel
+    used to materialize a full per-round :class:`Trace` for every case.
+    A ``LeanTrace`` carries the proposals, the decisions, each process's
+    halt round, the executed round count and the delivered-message total
+    — so :mod:`repro.analysis.metrics` produces **identical** numbers
+    from either trace kind, while the lean kernel path skips all
+    per-round record construction.
+
+    Per-round payloads and inboxes are *not* recorded; anything that
+    needs views or round records (replay, diagrams, the lower-bound
+    machinery) must request ``trace="full"``.
+
+    Attributes:
+        schedule: the adversary schedule the run was executed against.
+        proposals: the value proposed by each process, by id.
+        rounds_executed: number of rounds the kernel simulated.
+        decisions: for each process that decided, its decision value and
+            the round in which it decided.
+        halted_rounds: for each process that halted (returned), the
+            round at whose end it did so.
+        messages: total messages delivered over the whole run.
+    """
+
+    schedule: Schedule
+    proposals: tuple[Value, ...]
+    rounds_executed: int
+    decisions: Mapping[ProcessId, tuple[Value, Round]] = field(
+        default_factory=dict
+    )
+    halted_rounds: Mapping[ProcessId, Round] = field(default_factory=dict)
+    messages: int = 0
+
+    # -- the Trace-compatible surface metrics consume ----------------------
+
+    @property
+    def n(self) -> int:
+        return self.schedule.n
+
+    @property
+    def t(self) -> int:
+        return self.schedule.t
+
+    def decision_value(self, pid: ProcessId) -> Value | None:
+        entry = self.decisions.get(pid)
+        return entry[0] if entry is not None else None
+
+    def decision_round(self, pid: ProcessId) -> Round | None:
+        entry = self.decisions.get(pid)
+        return entry[1] if entry is not None else None
+
+    def decided_values(self) -> set[Value]:
+        return {value for value, _round in self.decisions.values()}
+
+    def deciders(self) -> frozenset[ProcessId]:
+        return frozenset(self.decisions)
+
+    def global_decision_round(self) -> Round | None:
+        if not self.decisions:
+            return None
+        return max(round_ for _value, round_ in self.decisions.values())
+
+    def first_decision_round(self) -> Round | None:
+        if not self.decisions:
+            return None
+        return min(round_ for _value, round_ in self.decisions.values())
+
+    def message_count(self) -> int:
+        return self.messages
+
+    def crash_rounds(self) -> dict[ProcessId, Round]:
+        return {
+            pid: spec.round for pid, spec in self.schedule.crashes.items()
+        }
+
+    def alive_at_end(self) -> frozenset[ProcessId]:
+        return self.schedule.correct
+
+    def describe(self) -> str:
+        """Human-readable one-screen summary (no per-round detail)."""
+        lines = [
+            f"LeanTrace: n={self.n} t={self.t} "
+            f"rounds={self.rounds_executed} proposals={list(self.proposals)}"
+        ]
+        if self.decisions:
+            lines.append(
+                "  decisions: "
+                + ", ".join(
+                    f"p{p}->{v}@r{r}"
+                    for p, (v, r) in sorted(self.decisions.items())
+                )
+            )
+        else:
+            lines.append("  decisions: none within horizon")
+        if self.halted_rounds:
+            lines.append(
+                "  halted: "
+                + ", ".join(
+                    f"p{p}@r{r}"
+                    for p, r in sorted(self.halted_rounds.items())
+                )
+            )
+        return "\n".join(lines)
+
+
+#: Either trace kind; the shared surface consumed by the metrics layer.
+AnyTrace = Trace | LeanTrace

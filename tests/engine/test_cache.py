@@ -180,7 +180,9 @@ class TestHitMissPartitioning:
         real = executors_module.run_case
         monkeypatch.setattr(
             executors_module, "run_case",
-            lambda *args: executed.append(args[0]) or real(*args),
+            lambda *args, **kwargs: (
+                executed.append(args[0]) or real(*args, **kwargs)
+            ),
         )
         records = run_cases(cases, cache=cache)
         assert executed == ["att2"]
@@ -388,3 +390,125 @@ class TestColdWarmIdenticalJson:
         assert cache.hits == len(cases)
         assert cold.to_json() == uncached.to_json()
         assert warm.to_json() == cold.to_json()
+
+
+class TestCacheGc:
+    """Age- and size-bounded eviction (``repro cache gc``)."""
+
+    def _filled(self, cache, mtimes):
+        """Store one entry per mtime (oldest first) and stamp its mtime."""
+        import os
+
+        paths = []
+        for i, mtime in enumerate(mtimes):
+            case = _case(i, workload=f"gc-{i}", proposals=(i, i, i))
+            run_cases([case], cache=cache)
+            path = cache.path_for(case)
+            assert path is not None and path.exists()
+            os.utime(path, (mtime, mtime))
+            paths.append(path)
+        return paths
+
+    def test_requires_at_least_one_bound(self, cache):
+        from repro.engine import cache_gc
+
+        with pytest.raises(ValueError, match="at least one bound"):
+            cache_gc(cache.directory)
+
+    def test_negative_bounds_rejected(self, cache):
+        from repro.engine import cache_gc
+
+        with pytest.raises(ValueError, match="max_age_days"):
+            cache_gc(cache.directory, max_age_days=-1)
+        with pytest.raises(ValueError, match="max_bytes"):
+            cache_gc(cache.directory, max_bytes=-5)
+
+    def test_missing_directory_raises_oserror(self, tmp_path):
+        from repro.engine import cache_gc
+
+        with pytest.raises(OSError, match="not a cache directory"):
+            cache_gc(tmp_path / "nope", max_bytes=0)
+
+    def test_age_eviction(self, cache):
+        from repro.engine import cache_gc
+
+        now = 1_000_000.0
+        day = 86400.0
+        old, older, fresh = self._filled(
+            cache, [now - 40 * day, now - 31 * day, now - 5 * day]
+        )
+        summary = cache_gc(cache.directory, max_age_days=30, now=now)
+        assert summary["removed"] == 2
+        assert not old.exists() and not older.exists()
+        assert fresh.exists()
+        assert summary["remaining"] == 1
+
+    def test_lru_size_eviction_removes_oldest_first(self, cache):
+        from repro.engine import cache_gc
+
+        paths = self._filled(cache, [100.0, 200.0, 300.0])
+        sizes = [path.stat().st_size for path in paths]
+        # Bound that forces exactly the two oldest out.
+        summary = cache_gc(
+            cache.directory, max_bytes=sizes[2], now=1000.0
+        )
+        assert summary["removed"] == 2
+        assert not paths[0].exists() and not paths[1].exists()
+        assert paths[2].exists()
+        assert summary["remaining_bytes"] == sizes[2]
+
+    def test_max_bytes_zero_empties_the_cache(self, cache):
+        from repro.engine import cache_gc, cache_stats
+
+        self._filled(cache, [100.0, 200.0])
+        summary = cache_gc(cache.directory, max_bytes=0, now=1000.0)
+        assert summary["removed"] == 2
+        assert cache_stats(cache.directory)["entries"] == 0
+
+    def test_gc_preserves_lifetime_counters_and_is_reported(self, cache):
+        from repro.engine import cache_gc, cache_stats
+
+        self._filled(cache, [100.0, 200.0])
+        cache.flush_stats()
+        before = cache_stats(cache.directory)
+        summary = cache_gc(cache.directory, max_bytes=0, now=1234.5)
+        stats = cache_stats(cache.directory)
+        # counters survive the gc, and the gc survives a counter flush
+        assert stats["misses"] == before["misses"]
+        assert stats["last_gc"]["removed"] == summary["removed"]
+        assert stats["last_gc"]["at"] == 1234.5
+        fresh = ResultCache(cache.directory)
+        fresh.lookup(_case(9, proposals=(9, 9, 9)))  # a miss
+        fresh.flush_stats()
+        assert cache_stats(cache.directory)["last_gc"]["at"] == 1234.5
+
+    def test_gc_survivors_still_hit(self, cache):
+        from repro.engine import cache_gc
+
+        case = _case(0, workload="keeper", proposals=(7, 7, 7))
+        (record,) = run_cases([case], cache=cache)
+        cache_gc(cache.directory, max_age_days=365,
+                 now=__import__("time").time())
+        fresh = ResultCache(cache.directory)
+        assert fresh.lookup(case) == record
+        assert fresh.hits == 1
+
+    def test_gc_never_touches_non_entry_files(self, cache):
+        # `cache gc` is destructive; a mistyped directory containing
+        # two-character subdirs with ordinary JSON (ui/theme.json, ...)
+        # must come through a max_bytes=0 sweep untouched.
+        from repro.engine import cache_gc, cache_stats
+
+        root = cache.directory
+        (root / "ui").mkdir()
+        bystander = root / "ui" / "theme.json"
+        bystander.write_text('{"color": "blue"}', encoding="utf-8")
+        truncated = root / "ab" / ("c" * 64 + ".json")  # wrong prefix
+        truncated.parent.mkdir()
+        truncated.write_text("{}", encoding="utf-8")
+        self._filled(cache, [100.0])
+        summary = cache_gc(cache.directory, max_bytes=0, now=1000.0)
+        assert summary["removed"] == 1  # only the genuine entry
+        assert bystander.exists()
+        assert truncated.exists()
+        assert cache_stats(cache.directory)["entries"] == 0

@@ -189,3 +189,39 @@ class TestDefaultSweepGrid:
         small = default_sweep_grid(cases_per_family=2)
         big = default_sweep_grid(cases_per_family=40)
         assert big.case_count > 2 * small.case_count
+
+
+class TestProfileGrids:
+    def test_unknown_profile_rejected(self):
+        from repro.engine.grids import profile_grids
+
+        with pytest.raises(GridError, match="unknown sweep profile"):
+            profile_grids("nope")
+
+    def test_large_profile_shape(self):
+        from repro.engine.grids import profile_grids
+
+        grids = profile_grids("large")
+        assert [label for label, _grid in grids] == ["n25", "n50"]
+        by_label = dict(grids)
+        assert (by_label["n25"].n, by_label["n25"].t) == (25, 8)
+        assert (by_label["n50"].n, by_label["n50"].t) == (50, 16)
+        # long horizons: the stock formula at large t
+        assert all(
+            fam.horizon == max(12, 3 * grid.t + 6)
+            for _label, grid in grids
+            for fam in grid.families
+        )
+        # every profile grid expands cleanly
+        for _label, grid in grids:
+            cases = expand_grid(grid)
+            assert len(cases) == grid.case_count
+
+    def test_profile_seed_threads_through(self):
+        from repro.engine.grids import profile_grids
+
+        a = profile_grids("large", seed=1)
+        b = profile_grids("large", seed=2)
+        assert a[0][1].seed == 1
+        assert b[0][1].seed == 2
+        assert a[0][1] != b[0][1]

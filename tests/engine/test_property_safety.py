@@ -15,14 +15,21 @@ matching ``repro.sim.random_schedules`` generator.
 ``REPRO_PROPERTY_SAMPLES`` cranks the per-algorithm sample count (the
 nightly CI lane runs thousands of seeds per algorithm this way); the
 default stays small enough for the tier-1 suite.
+
+On violation the harness also *exports* every failing case — schedule
+(via :func:`repro.sim.replay.schedule_to_data`), proposals and algorithm
+— as one JSON file each under ``REPRO_PROPERTY_ARTIFACTS`` (default
+``property-failures/``), so a red nightly run ships downloadable repro
+artifacts and a local repro is one ``schedule_from_data`` away.
 """
 
+import json
 import os
 
 import pytest
 
 from repro.algorithms.registry import available_algorithms
-from repro.engine import GridSpec, family, run_batch
+from repro.engine import GridSpec, expand_grid, family, run_batch
 
 
 def _samples_from_env(default: int = 200) -> int:
@@ -71,6 +78,45 @@ def _grid_for(name: str) -> GridSpec:
     )
 
 
+def _export_violations(grid: GridSpec, violations) -> str | None:
+    """Write each failing case as a replayable JSON artifact.
+
+    The export embeds the schedule via ``schedule_to_data`` plus the
+    algorithm and proposals — everything a ``repro run`` needs — into
+    ``$REPRO_PROPERTY_ARTIFACTS`` (default ``property-failures/``).
+    Returns the directory, or ``None`` when exporting failed (the
+    assertion message must never be masked by an export problem).
+    """
+    from repro.sim.replay import schedule_to_data
+
+    directory = os.environ.get(
+        "REPRO_PROPERTY_ARTIFACTS", "property-failures"
+    )
+    try:
+        os.makedirs(directory, exist_ok=True)
+        by_index = {case.index: case for case in expand_grid(grid)}
+        for record in violations:
+            case = by_index[record.case_index]
+            path = os.path.join(
+                directory,
+                f"{record.algorithm}-case{record.case_index}.json",
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "algorithm": case.algorithm,
+                        "workload": case.workload,
+                        "proposals": list(case.proposals),
+                        "schedule": schedule_to_data(case.schedule),
+                    },
+                    handle, indent=2, sort_keys=True,
+                )
+                handle.write("\n")
+    except OSError:
+        return None
+    return directory
+
+
 @pytest.mark.parametrize("name", sorted(available_algorithms()))
 def test_safety_never_breaks_on_random_schedules(name):
     # Cranked nightly runs fan out across a process pool; the stock
@@ -79,15 +125,43 @@ def test_safety_never_breaks_on_random_schedules(name):
     from repro.engine import ProcessExecutor, SerialExecutor
 
     executor = ProcessExecutor() if SAMPLES > 500 else SerialExecutor()
-    result = run_batch(_grid_for(name), executor=executor)
+    grid = _grid_for(name)
+    result = run_batch(grid, executor=executor)
     assert result.case_count == SAMPLES
     violations = result.violations()
+    exported = _export_violations(grid, violations) if violations else None
     assert not violations, (
         f"{name} broke agreement/validity on {len(violations)} of "
         f"{SAMPLES} schedules (master seed {MASTER_SEED}); failing cases "
         f"(label embeds the generator seed): "
         + ", ".join(record.workload for record in violations[:10])
+        + (
+            f"; schedules exported to {exported}/"
+            if exported
+            else "; schedule export FAILED — regenerate from the seeds"
+        )
     )
+
+
+def test_violation_export_is_replayable(tmp_path, monkeypatch):
+    """The artifact a (hypothetical) violation ships must reproduce the
+    exact failing schedule."""
+    from repro.sim.replay import schedule_from_data
+
+    monkeypatch.setenv("REPRO_PROPERTY_ARTIFACTS", str(tmp_path / "out"))
+    grid = _grid_for("att2")
+    records = run_batch(grid).records
+    # Pretend the third case failed; export machinery must not care.
+    fake_violations = [records[3]]
+    exported = _export_violations(grid, fake_violations)
+    assert exported == str(tmp_path / "out")
+    path = tmp_path / "out" / f"att2-case{records[3].case_index}.json"
+    data = json.loads(path.read_text(encoding="utf-8"))
+    case = expand_grid(grid)[3]
+    assert data["algorithm"] == "att2"
+    assert data["workload"] == case.workload
+    assert tuple(data["proposals"]) == case.proposals
+    assert schedule_from_data(data["schedule"]) == case.schedule
 
 
 def test_violation_message_would_name_the_seed():

@@ -252,3 +252,121 @@ class TestCorrectUndecided:
         (record,) = run_cases([_case(0, horizon=1)])
         assert record.global_round is None
         assert record.correct_undecided == 3
+
+
+class TestTraceModes:
+    """``trace=`` threads through the runners without touching the bytes."""
+
+    def _grid(self):
+        return GridSpec(
+            n=5, t=2, algorithms=("att2", "hurfin_raynal"),
+            families=(
+                family("es", "random_es", count=4, horizon=12),
+                family("killer2", "killer", horizon=12,
+                       rounds_per_cycle=2),
+            ),
+            seed=3, proposal_mode="random",
+        )
+
+    def test_records_identical_across_trace_modes(self):
+        grid = self._grid()
+        full = run_batch(grid, trace="full")
+        lean = run_batch(grid, trace="lean")
+        assert full == lean
+        assert full.to_json() == lean.to_json()
+
+    def test_cases_default_to_lean(self):
+        assert _case(0).trace == "lean"
+
+    def test_trace_mode_excluded_from_case_identity(self):
+        from dataclasses import replace
+
+        case = _case(0)
+        assert replace(case, trace="full") == case
+
+    def test_runner_override_stamps_every_case(self):
+        from repro.engine import SerialExecutor, execute_case
+
+        seen = []
+
+        class Spy(SerialExecutor):
+            def map_cases(self, cases):
+                for case in cases:
+                    seen.append(case.trace)
+                    yield execute_case(case)
+
+        run_cases([_case(0), _case(1, algorithm="floodset")],
+                  executor=Spy(), trace="full")
+        assert seen == ["full", "full"]
+
+    def test_invalid_trace_mode_surfaces_from_kernel(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="unknown trace mode"):
+            run_cases([_case(0)], trace="chatty")
+
+    def test_process_pool_runs_lean_cases(self):
+        # Lean mode must survive pickling to workers (the compiled-plan
+        # and digest memos are stripped from schedule pickles).
+        grid = self._grid()
+        serial = run_batch(grid, trace="lean")
+        pooled = run_batch(
+            grid, executor=ProcessExecutor(workers=2), trace="lean"
+        )
+        assert serial == pooled
+
+    def test_stock_grid_records_match_the_prerefactor_pipeline(self):
+        """Acceptance: engine output (compiled kernel, lean traces) equals
+        the pre-refactor pipeline (reference kernel, full traces, uncached
+        synchrony scan) on a stock grid, record for record."""
+        from dataclasses import replace
+
+        from repro.algorithms.base import make_automata
+        from repro.algorithms.registry import get_factory
+        from repro.analysis.metrics import check_agreement, check_validity
+        from repro.engine import default_sweep_grid, expand_grid
+        from repro.sim.kernel import execute_reference
+
+        grid = default_sweep_grid(5, 2, cases_per_family=2, seed=11)
+        engine_records = run_batch(grid, trace="lean").records
+
+        def reference_record(case):
+            schedule = case.schedule
+            trace = execute_reference(
+                make_automata(
+                    get_factory(case.algorithm), schedule.n, schedule.t,
+                    list(case.proposals),
+                ),
+                schedule,
+            )
+            first_bad = 0
+            for k in range(1, schedule.horizon + 1):
+                if not schedule.is_synchronous_round(k):
+                    first_bad = k
+            return replace(
+                SweepRecord(
+                    algorithm=case.algorithm,
+                    workload=case.workload,
+                    n=schedule.n,
+                    t=schedule.t,
+                    crashes=len(schedule.crashes),
+                    sync_from=first_bad + 1,
+                    global_round=trace.global_decision_round(),
+                    first_round=trace.first_decision_round(),
+                    deciders=len(trace.decisions),
+                    agreement_ok=not check_agreement(trace),
+                    validity_ok=not check_validity(trace),
+                    messages=trace.message_count(),
+                    horizon=schedule.horizon,
+                    correct_undecided=sum(
+                        1 for pid in schedule.correct
+                        if pid not in trace.decisions
+                    ),
+                ),
+                case_index=case.index,
+            )
+
+        expected = tuple(
+            reference_record(case) for case in expand_grid(grid)
+        )
+        assert engine_records == expected

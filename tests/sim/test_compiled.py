@@ -1,0 +1,232 @@
+"""Compiled-kernel equivalence: plan structure, trace parity, lean metrics.
+
+The compiled kernel (:mod:`repro.sim.compiled` + the rewritten
+:func:`repro.sim.kernel.execute`) is only allowed to be *faster* than the
+original query-at-a-time kernel — never observably different.  These
+tests pin that down three ways:
+
+* seeded random schedules (every generator in
+  :mod:`repro.sim.random_schedules`) across every registered algorithm
+  must produce **identical full traces** on both kernels;
+* the lean trace mode must yield identical decisions and identical
+  metrics (``summarize``, consensus checks, message counts);
+* the compiled plan itself must be canonical (sorted inboxes, memoized
+  per schedule) and must never leak into pickles.
+"""
+
+import pickle
+
+import pytest
+
+from repro.algorithms.base import make_automata
+from repro.algorithms.registry import available_algorithms, get_factory
+from repro.analysis.metrics import check_consensus, summarize
+from repro.errors import SimulationError
+from repro.model.schedule import Schedule, ScheduleBuilder
+from repro.sim.compiled import compile_schedule
+from repro.sim.kernel import execute, execute_reference, run_algorithm
+from repro.sim.random_schedules import (
+    random_es_schedule,
+    random_proposals,
+    random_scs_schedule,
+    random_serial_schedule,
+)
+
+SEEDS = range(25)
+
+
+def _system_for(name: str) -> tuple[int, int]:
+    # afp2 and amr_leader require t < n/3; everything else runs the
+    # paper's standard (n, t) = (5, 2) majority configuration.
+    return (7, 2) if name in ("afp2", "amr_leader") else (5, 2)
+
+
+def _generators_for(name: str):
+    info = available_algorithms()[name]
+    if info.model == "SCS":
+        return (random_scs_schedule, random_serial_schedule)
+    return (random_es_schedule, random_scs_schedule, random_serial_schedule)
+
+
+class TestCompiledMatchesReference:
+    @pytest.mark.parametrize("name", sorted(available_algorithms()))
+    def test_full_traces_identical_on_random_schedules(self, name):
+        n, t = _system_for(name)
+        for generator in _generators_for(name):
+            for seed in SEEDS:
+                schedule = generator(n, t, seed)
+                proposals = random_proposals(n, seed)
+                factory = get_factory(name)
+                reference = execute_reference(
+                    make_automata(factory, n, t, proposals), schedule
+                )
+                compiled = execute(
+                    make_automata(factory, n, t, proposals), schedule,
+                    trace="full",
+                )
+                assert compiled == reference, (
+                    f"{name} diverged on {generator.__name__}(seed={seed})"
+                )
+
+    def test_max_rounds_and_quiescence_parity(self):
+        schedule = Schedule.failure_free(5, 2, 40)
+        factory = get_factory("att2")
+        for kwargs in (
+            {"max_rounds": 3},
+            {"max_rounds": 7},
+            {"stop_when_quiescent": False},
+        ):
+            reference = execute_reference(
+                make_automata(factory, 5, 2, [1, 0, 1, 0, 1]), schedule,
+                **kwargs,
+            )
+            compiled = execute(
+                make_automata(factory, 5, 2, [1, 0, 1, 0, 1]), schedule,
+                **kwargs,
+            )
+            assert compiled == reference
+
+    def test_out_of_horizon_delivery_never_delivered(self):
+        # Schedules built directly (bypassing the builder's validation)
+        # may carry deliveries beyond the horizon; both kernels must
+        # simply never deliver them.
+        schedule = Schedule(
+            n=3, t=1, horizon=4, delays={(0, 1, 2): 9}
+        )
+        factory = get_factory("att2")
+        reference = execute_reference(
+            make_automata(factory, 3, 1, [0, 1, 1]), schedule
+        )
+        compiled = execute(
+            make_automata(factory, 3, 1, [0, 1, 1]), schedule, trace="full"
+        )
+        assert compiled == reference
+
+
+class TestLeanTraceMetrics:
+    @pytest.mark.parametrize(
+        "name", ["att2", "att2_optimized", "adiamond_s", "hurfin_raynal",
+                 "chandra_toueg"]
+    )
+    def test_lean_and_full_metrics_identical(self, name):
+        factory = get_factory(name)
+        for seed in SEEDS:
+            schedule = random_es_schedule(5, 2, seed, horizon=14)
+            proposals = random_proposals(5, seed)
+            full = run_algorithm(factory, schedule, proposals, trace="full")
+            lean = run_algorithm(factory, schedule, proposals, trace="lean")
+            assert dict(lean.decisions) == dict(full.decisions)
+            assert lean.rounds_executed == full.rounds_executed
+            assert lean.message_count() == full.message_count()
+            assert summarize(lean) == summarize(full)
+            assert check_consensus(
+                lean, expect_termination=False
+            ) == check_consensus(full, expect_termination=False)
+
+    def test_lean_halt_rounds_match_full_trace(self):
+        factory = get_factory("att2")
+        schedule = Schedule.synchronous(5, 2, 12, crashes={0: (1, [1])})
+        full = run_algorithm(factory, schedule, [3, 1, 4, 1, 5])
+        lean = run_algorithm(
+            factory, schedule, [3, 1, 4, 1, 5], trace="lean"
+        )
+        halted_full = {
+            pid: record.round
+            for record in full.rounds
+            for pid in record.halted
+        }
+        assert dict(lean.halted_rounds) == halted_full
+
+    def test_lean_trace_surface(self):
+        factory = get_factory("att2")
+        schedule = Schedule.failure_free(3, 1, 10)
+        lean = run_algorithm(factory, schedule, [2, 0, 2], trace="lean")
+        assert lean.n == 3 and lean.t == 1
+        assert lean.deciders() == frozenset({0, 1, 2})
+        assert lean.decided_values() == {lean.decision_value(0)}
+        assert lean.decision_round(0) == lean.first_decision_round()
+        assert lean.alive_at_end() == frozenset({0, 1, 2})
+        assert lean.crash_rounds() == {}
+        assert "decisions" in lean.describe()
+
+    def test_unknown_trace_mode_rejected(self):
+        factory = get_factory("att2")
+        schedule = Schedule.failure_free(3, 1, 4)
+        with pytest.raises(SimulationError, match="unknown trace mode"):
+            run_algorithm(factory, schedule, [0, 1, 2], trace="verbose")
+
+
+class TestCompiledPlan:
+    def test_plan_is_memoized_per_schedule(self):
+        schedule = random_es_schedule(5, 2, 7)
+        assert compile_schedule(schedule) is compile_schedule(schedule)
+
+    def test_inboxes_are_canonically_sorted(self):
+        schedule = random_es_schedule(6, 2, 11, horizon=10)
+        plan = compile_schedule(schedule)
+        for k in range(1, plan.horizon + 1):
+            for receiver in range(plan.n):
+                entries = plan.inboxes[k][receiver]
+                assert list(entries) == sorted(entries)
+
+    def test_plan_matches_schedule_queries(self):
+        schedule = random_es_schedule(5, 2, 13, horizon=10)
+        plan = compile_schedule(schedule)
+        for k in range(1, schedule.horizon + 1):
+            assert plan.senders[k] == tuple(
+                pid for pid in range(5) if schedule.sends_in_round(pid, k)
+            )
+            assert plan.completers[k] == tuple(
+                pid for pid in range(5) if schedule.completes_round(pid, k)
+            )
+            assert plan.crashed[k] == schedule.crashed_in(k)
+            for receiver in range(5):
+                if not schedule.completes_round(receiver, k):
+                    continue
+                assert set(plan.inboxes[k][receiver]) == {
+                    (sent, sender)
+                    for sender, sent in schedule.deliveries_to(receiver, k)
+                }
+
+    def test_compile_seeds_the_sync_from_memo(self):
+        schedule = random_es_schedule(5, 2, 17, horizon=10)
+        expected = Schedule(
+            n=schedule.n, t=schedule.t, horizon=schedule.horizon,
+            crashes=dict(schedule.crashes), delays=dict(schedule.delays),
+            losses=schedule.losses,
+        ).sync_from()  # computed the slow way on an uncompiled twin
+        compile_schedule(schedule)
+        assert schedule.__dict__.get("_sync_from_cache") == expected
+        assert schedule.sync_from() == expected
+
+    def test_caches_never_pickled(self):
+        schedule = random_es_schedule(5, 2, 19)
+        compile_schedule(schedule)
+        schedule.digest()
+        schedule.sync_from()
+        clone = pickle.loads(pickle.dumps(schedule))
+        assert clone == schedule
+        assert "_compiled_cache" not in clone.__dict__
+        assert "_digest_cache" not in clone.__dict__
+        assert "_sync_from_cache" not in clone.__dict__
+        # and the clone still works end to end
+        factory = get_factory("att2")
+        assert run_algorithm(
+            factory, clone, [0, 1, 0, 1, 1], trace="lean"
+        ).decisions == run_algorithm(
+            factory, schedule, [0, 1, 0, 1, 1], trace="lean"
+        ).decisions
+
+    def test_delayed_delivery_map_matches_linear_scan(self):
+        builder = ScheduleBuilder(5, 2, 10)
+        builder.crash(0, 2, delivered_to=[1], delayed={2: 4, 3: 6})
+        schedule = builder.build()
+        spec = schedule.crashes[0]
+        for receiver in range(5):
+            expected = next(
+                (d for r, d in spec.delayed if r == receiver), None
+            )
+            assert spec.delayed_delivery(receiver) == expected
+        # survives pickling (the lazy map is rebuilt on demand)
+        clone = pickle.loads(pickle.dumps(schedule))
+        assert clone.crashes[0].delayed_delivery(2) == 4

@@ -349,3 +349,182 @@ class TestCacheStats:
     def test_stats_on_missing_dir_fails_cleanly(self, tmp_path):
         with pytest.raises(SystemExit, match="cannot read cache"):
             main(["cache", "stats", str(tmp_path / "absent")])
+
+
+class TestSweepTraceModes:
+    ARGS = [
+        "sweep", "--cases-per-family", "2", "--seed", "5",
+        "--algorithms", "att2,hurfin_raynal", "--backend", "serial",
+    ]
+
+    def test_full_and_lean_exports_byte_identical(self, capsys, tmp_path):
+        lean, full = str(tmp_path / "lean.json"), str(tmp_path / "full.json")
+        assert main(self.ARGS + ["--trace", "lean", "--json", lean]) == 0
+        assert main(self.ARGS + ["--trace", "full", "--json", full]) == 0
+        with open(lean, "rb") as a, open(full, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_trace_mode_announced(self, capsys):
+        assert main(self.ARGS) == 0
+        assert "trace=lean" in capsys.readouterr().out
+
+    def test_unknown_trace_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--trace", "chatty"])
+
+
+class TestSweepGridDirectory:
+    def _write_grid(self, path, n, t):
+        from repro.engine import default_sweep_grid
+
+        default_sweep_grid(
+            n, t, cases_per_family=2, algorithms=("att2",)
+        ).save(str(path))
+
+    def test_directory_runs_every_grid_combined(self, capsys, tmp_path):
+        import json
+
+        grids = tmp_path / "grids"
+        grids.mkdir()
+        self._write_grid(grids / "alpha.json", 4, 1)
+        self._write_grid(grids / "beta.json", 5, 2)
+        out_path = str(tmp_path / "combined.json")
+        assert main([
+            "sweep", "--grid", str(grids), "--backend", "serial",
+            "--json", out_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "alpha: n=4/t=1" in out and "beta: n=5/t=2" in out
+        with open(out_path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        prefixes = {r["workload"].split(":")[0] for r in data["records"]}
+        assert prefixes == {"alpha", "beta"}
+        indices = [r["case_index"] for r in data["records"]]
+        assert sorted(indices) == list(range(len(indices)))
+
+    def test_single_grid_directory_behaves_like_the_file(
+        self, capsys, tmp_path
+    ):
+        grids = tmp_path / "grids"
+        grids.mkdir()
+        self._write_grid(grids / "only.json", 4, 1)
+        a, b = str(tmp_path / "dir.json"), str(tmp_path / "file.json")
+        assert main(["sweep", "--grid", str(grids), "--backend", "serial",
+                     "--json", a]) == 0
+        assert main(["sweep", "--grid", str(grids / "only.json"),
+                     "--backend", "serial", "--json", b]) == 0
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_empty_directory_rejected(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit, match="no \\*.json grid files"):
+            main(["sweep", "--grid", str(empty)])
+
+    def test_save_grid_rejected_for_multi_grid_sweeps(self, tmp_path):
+        grids = tmp_path / "grids"
+        grids.mkdir()
+        self._write_grid(grids / "a.json", 4, 1)
+        self._write_grid(grids / "b.json", 5, 2)
+        with pytest.raises(SystemExit, match="--save-grid"):
+            main(["sweep", "--grid", str(grids),
+                  "--save-grid", str(tmp_path / "out.json")])
+
+
+class TestSweepProfiles:
+    def test_profile_excludes_grid_and_shape_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["sweep", "--profile", "large",
+                  "--grid", str(tmp_path / "g.json")])
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["sweep", "--profile", "large", "--n", "9"])
+
+    def test_unknown_profile_fails_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown sweep profile"):
+            main(["sweep", "--profile", "nope"])
+
+    def test_profile_sharding_slices_the_combined_grid(self, capsys):
+        # Shard 0/50 keeps the profile test affordable: a deterministic
+        # 1/50th slice of the n=25 + n=50 case list still exercises
+        # expansion, prefixing and execution end to end.
+        assert main([
+            "sweep", "--profile", "large", "--shard", "0/50",
+            "--backend", "serial",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "n25: n=25/t=8" in out and "n50: n=50/t=16" in out
+        assert "shard 0/50 of 110" in out
+
+
+class TestGridValidate:
+    def test_valid_file_reports_shape(self, capsys, tmp_path):
+        from repro.engine import default_sweep_grid
+
+        path = tmp_path / "grid.json"
+        default_sweep_grid(5, 2, cases_per_family=2).save(str(path))
+        assert main(["grid", "validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "n=5, t=2" in out
+
+    def test_invalid_file_fails_with_reason(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99}', encoding="utf-8")
+        assert main(["grid", "validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out and "version" in out
+
+    def test_directory_mixes_and_counts(self, capsys, tmp_path):
+        from repro.engine import default_sweep_grid
+
+        grids = tmp_path / "grids"
+        grids.mkdir()
+        default_sweep_grid(4, 1, cases_per_family=2).save(
+            str(grids / "good.json")
+        )
+        (grids / "bad.json").write_text("not json", encoding="utf-8")
+        assert main(["grid", "validate", str(grids)]) == 1
+        out = capsys.readouterr().out
+        assert "1 of 2 grid files invalid" in out
+
+    def test_empty_directory_rejected(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit, match="no \\*.json grid files"):
+            main(["grid", "validate", str(empty)])
+
+
+class TestCacheGcCommand:
+    ARGS = [
+        "sweep", "--cases-per-family", "2", "--seed", "3",
+        "--algorithms", "att2", "--backend", "serial",
+    ]
+
+    def test_gc_then_stats_reports_last_gc(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.ARGS + ["--cache", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", cache_dir, "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 9 entries" in out
+        assert main(["cache", "stats", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "0 entries" in out
+        assert "last gc: removed 9 entries" in out
+
+    def test_gc_requires_a_bound(self, tmp_path):
+        (tmp_path / "cache").mkdir()
+        with pytest.raises(SystemExit, match="at least one bound"):
+            main(["cache", "gc", str(tmp_path / "cache")])
+
+    def test_gc_on_missing_dir_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot gc cache"):
+            main(["cache", "gc", str(tmp_path / "absent"),
+                  "--max-bytes", "0"])
+
+    def test_stats_reports_never_gced(self, capsys, tmp_path):
+        from repro.engine import ResultCache
+
+        ResultCache(tmp_path / "cache")
+        assert main(["cache", "stats", str(tmp_path / "cache")]) == 0
+        assert "last gc: never" in capsys.readouterr().out
