@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from repro.algorithms.common import ConsensusAutomaton
 from repro.errors import AlgorithmError
-from repro.model.messages import Message
+from repro.sim.view import RoundView
 from repro.types import Payload, ProcessId, Round, Value
 
 AMR_EST = "AMR_EST"
@@ -46,11 +46,17 @@ def cycle_of(k: Round) -> tuple[int, int]:
     return cycle + 1, phase + 1
 
 
-def lowest_sender_votes(
-    current: list[Message], quota: int
-) -> list[Message]:
-    """The *quota* messages with the lowest sender ids (paper, Figure 5)."""
-    return sorted(current, key=lambda m: m.sender)[:quota]
+def lowest_sender_items(
+    items, quota: int
+) -> list[tuple[ProcessId, Payload]]:
+    """The *quota* ``(sender, payload)`` items with the lowest sender
+    ids (paper, Figure 5).
+
+    Kernel-built views arrive ascending by sender already, so the sort
+    is a near-free stability pass; it stays for hand-ordered inboxes
+    reaching the ported algorithms through the legacy bridges.
+    """
+    return sorted(items, key=lambda item: item[0])[:quota]
 
 
 class AMRLeaderES(ConsensusAutomaton):
@@ -71,22 +77,21 @@ class AMRLeaderES(ConsensusAutomaton):
             return (AMR_EST, cycle, self.est)
         return (AMR_CAND, cycle, self._candidate)
 
-    def round_deliver(self, k: Round, messages: tuple[Message, ...]) -> None:
+    def round_deliver_view(self, k: Round, view: RoundView) -> None:
         cycle, phase = cycle_of(k)
         current = [
-            m
-            for m in self.current_round(messages, k)
-            if m.tag == (AMR_EST if phase == 1 else AMR_CAND)
-            and m.payload[1] == cycle
+            item
+            for item in view.tagged(AMR_EST if phase == 1 else AMR_CAND)
+            if item[1][1] == cycle
         ]
         if not current:
             return
         if phase == 1:
-            leader_msg = min(current, key=lambda m: m.sender)
-            self._candidate = leader_msg.payload[2]
+            _leader, payload = min(current, key=lambda item: item[0])
+            self._candidate = payload[2]
             return
-        votes = lowest_sender_votes(current, self.n - self.t)
-        values = [m.payload[2] for m in votes]
+        votes = lowest_sender_items(current, self.n - self.t)
+        values = [payload[2] for _sender, payload in votes]
         distinct = set(values)
         if len(distinct) == 1 and len(votes) >= self.n - self.t:
             self._decide(values[0], k)

@@ -31,7 +31,7 @@ points in the price-of-indulgence comparison (E5).
 from __future__ import annotations
 
 from repro.algorithms.common import ConsensusAutomaton
-from repro.model.messages import Message
+from repro.sim.view import RoundView
 from repro.types import Payload, ProcessId, Round, Value
 
 CT_EST = "CT_EST"
@@ -82,38 +82,30 @@ class ChandraTouegES(ConsensusAutomaton):
             return (CT_ACK, cycle, self._proposal_seen)
         return (CT_NACK, cycle)
 
-    def round_deliver(self, k: Round, messages: tuple[Message, ...]) -> None:
+    def round_deliver_view(self, k: Round, view: RoundView) -> None:
         cycle, phase = cycle_of(k)
-        current = self.current_round(messages, k)
         if phase == 1:
             self._collected = {}
             self._proposal_seen = None
             if self.pid == self.coordinator(cycle, self.n):
-                for m in current:
-                    if m.tag == CT_EST and m.payload[1] == cycle:
-                        self._collected[m.sender] = (
-                            m.payload[2],
-                            m.payload[3],
-                        )
+                for sender, payload in view.tagged(CT_EST):
+                    if payload[1] == cycle:
+                        self._collected[sender] = (payload[2], payload[3])
         elif phase == 2:
             coordinator = self.coordinator(cycle, self.n)
-            for m in current:
-                if (
-                    m.tag == CT_PROP
-                    and m.sender == coordinator
-                    and m.payload[1] == cycle
-                ):
-                    self._proposal_seen = m.payload[2]
-                    self.est = m.payload[2]
+            for sender, payload in view.tagged(CT_PROP):
+                if sender == coordinator and payload[1] == cycle:
+                    self._proposal_seen = payload[2]
+                    self.est = payload[2]
                     self.ts = cycle
         else:
             acks = [
-                m
-                for m in current
-                if m.tag == CT_ACK and m.payload[1] == cycle
+                payload
+                for _sender, payload in view.tagged(CT_ACK)
+                if payload[1] == cycle
             ]
             if len(acks) > self.n // 2:
-                self._decide(acks[0].payload[2], k)
+                self._decide(acks[0][2], k)
 
     @classmethod
     def factory(cls):

@@ -24,7 +24,7 @@ rule over every serial schedule for small (n, t).
 from __future__ import annotations
 
 from repro.algorithms.common import ConsensusAutomaton
-from repro.model.messages import Message
+from repro.sim.view import RoundView, all_pids
 from repro.types import Payload, ProcessId, Round, Value
 
 EFLOOD = "EFLOOD"
@@ -41,19 +41,15 @@ class EarlyDecidingSCS(ConsensusAutomaton):
     def round_payload(self, k: Round) -> Payload | None:
         return (EFLOOD, k, self.known)
 
-    def round_deliver(self, k: Round, messages: tuple[Message, ...]) -> None:
-        current = [
-            m for m in self.current_round(messages, k) if m.tag == EFLOOD
-        ]
+    def round_deliver_view(self, k: Round, view: RoundView) -> None:
+        current = view.tagged(EFLOOD)
         union = set(self.known)
-        for message in current:
-            union.update(message.payload[2])
+        senders = set()
+        for sender, payload in current:
+            senders.add(sender)
+            union.update(payload[2])
         self.known = frozenset(union)
-        absent = (
-            frozenset(range(self.n))
-            - {m.sender for m in current}
-            - {self.pid}
-        )
+        absent = all_pids(self.n).difference(senders, (self.pid,))
         stable = (
             self._absent_previous is not None
             and absent == self._absent_previous

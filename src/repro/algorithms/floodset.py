@@ -14,7 +14,7 @@ exactly one extra round on top of FloodSet's t + 1.
 from __future__ import annotations
 
 from repro.algorithms.common import ConsensusAutomaton
-from repro.model.messages import Message
+from repro.sim.view import RoundView
 from repro.types import Payload, ProcessId, Round, Value
 
 FLOOD = "FLOOD"
@@ -41,11 +41,10 @@ class FloodSet(ConsensusAutomaton):
     def round_payload(self, k: Round) -> Payload | None:
         return (FLOOD, k, self.known)
 
-    def round_deliver(self, k: Round, messages: tuple[Message, ...]) -> None:
+    def round_deliver_view(self, k: Round, view: RoundView) -> None:
         union = set(self.known)
-        for message in self.current_round(messages, k):
-            if message.tag == FLOOD:
-                union.update(message.payload[2])
+        for _sender, payload in view.tagged(FLOOD):
+            union.update(payload[2])
         self.known = frozenset(union)
         if k == self.t + 1:
             self._decide(min(self.known), k)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from repro.algorithms.common import ConsensusAutomaton
 from repro.algorithms.suspicion import EstimateState
-from repro.model.messages import Message
+from repro.sim.view import RoundView
 from repro.types import Payload, ProcessId, Round, Value
 
 
@@ -37,8 +37,8 @@ class FloodSetWS(ConsensusAutomaton):
     def round_payload(self, k: Round) -> Payload | None:
         return self.state.payload(k)
 
-    def round_deliver(self, k: Round, messages: tuple[Message, ...]) -> None:
-        self.state.compute(k, messages)
+    def round_deliver_view(self, k: Round, view: RoundView) -> None:
+        self.state.compute_view(k, view)
         if k == self.t + 1:
             self._decide(self.state.est, k)
 

@@ -32,7 +32,7 @@ at round 2(t + 1) = **2t + 2** (reproduced in E5/E6).
 from __future__ import annotations
 
 from repro.algorithms.common import ConsensusAutomaton
-from repro.model.messages import Message
+from repro.sim.view import RoundView
 from repro.types import Payload, ProcessId, Round, Value
 
 HR_PROP = "HR_PROP"
@@ -70,29 +70,24 @@ class HurfinRaynalES(ConsensusAutomaton):
             return (HR_ACK, cycle, self._proposal_seen)
         return (HR_NACK, cycle)
 
-    def round_deliver(self, k: Round, messages: tuple[Message, ...]) -> None:
+    def round_deliver_view(self, k: Round, view: RoundView) -> None:
         cycle, phase = cycle_of(k)
-        current = self.current_round(messages, k)
         if phase == 1:
             coordinator = self.coordinator(cycle, self.n)
             self._proposal_seen = None
-            for m in current:
-                if (
-                    m.tag == HR_PROP
-                    and m.sender == coordinator
-                    and m.payload[1] == cycle
-                ):
-                    self._proposal_seen = m.payload[2]
+            for sender, payload in view.tagged(HR_PROP):
+                if sender == coordinator and payload[1] == cycle:
+                    self._proposal_seen = payload[2]
         else:
             acks = [
-                m
-                for m in current
-                if m.tag == HR_ACK and m.payload[1] == cycle
+                payload
+                for _sender, payload in view.tagged(HR_ACK)
+                if payload[1] == cycle
             ]
             if acks:
-                self.est = acks[0].payload[2]
+                self.est = acks[0][2]
             if len(acks) >= self.n - self.t:
-                self._decide(acks[0].payload[2], k)
+                self._decide(acks[0][2], k)
 
     @classmethod
     def factory(cls):

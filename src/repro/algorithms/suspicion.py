@@ -15,14 +15,31 @@ A process never suspects itself (the paper's assumption 2), and since
 self-delivery is immediate, p_i's own message is always in ``msgSet_i`` —
 so ``est_i`` is monotonically non-increasing and ``msgSet_i`` is never
 empty.
+
+The update is implemented as a *single batched pass* over the round's
+ESTIMATE ``(sender, payload)`` items: one loop accumulates the sender
+set and the suspecting-me additions, the absent set is one interned-set
+difference, and the new estimate is folded in a second short scan of the
+same items — no per-step list materialization, no ``frozenset(range(n))``
+rebuild.  The fast entry point is :meth:`EstimateState.compute_view`
+(fed by the kernel's pre-bucketed :class:`~repro.sim.view.RoundView`);
+:meth:`EstimateState.compute` keeps the message-tuple signature for
+direct callers and runs the identical batched update after extracting
+the items — the equivalence with the original two-pass formulation is
+property-tested in ``tests/algorithms/test_suspicion.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 from repro.model.messages import Message
+from repro.sim.view import all_pids
 from repro.types import Payload, ProcessId, Round, Value
+
+if TYPE_CHECKING:
+    from repro.sim.view import RoundView
 
 ESTIMATE = "ESTIMATE"
 
@@ -46,26 +63,54 @@ class EstimateState:
         return estimate_payload(k, self.est, self.halt)
 
     def compute(self, k: Round, messages: tuple[Message, ...]) -> None:
-        """The paper's ``compute()`` for round k.
+        """The paper's ``compute()`` for round k, from a flat inbox.
 
         *messages* is the full round-k delivery; only current-round
         ESTIMATE messages participate (delayed estimates are stale and the
         suspicion semantics are defined on current-round receipt).
         """
-        current = [
-            m
+        self._compute_items(
+            (m.sender, m.payload)
             for m in messages
             if m.sent_round == k and m.tag == ESTIMATE
-        ]
-        senders = {m.sender for m in current}
-        suspected_now = frozenset(range(self.n)) - senders - {self.pid}
-        suspecting_me = frozenset(
-            m.sender for m in current if self.pid in m.payload[3]
         )
-        self.halt = self.halt | suspected_now | suspecting_me
-        msg_set = [m for m in current if m.sender not in self.halt]
+
+    def compute_view(self, k: Round, view: "RoundView") -> None:
+        """The paper's ``compute()`` for round k, from a round view.
+
+        The kernel-facing fast path: the view already bucketed the
+        current-round ESTIMATE items, so the update touches nothing
+        else.
+        """
+        self._compute_items(view.tagged(ESTIMATE))
+
+    def _compute_items(
+        self, items: Iterable[tuple[ProcessId, Payload]]
+    ) -> None:
+        """The batched update over ESTIMATE ``(sender, payload)`` items."""
+        pid = self.pid
+        halt = self.halt
+        items = tuple(items)
+        # Suspected now: everyone whose round-k message did not arrive
+        # (never oneself; ``all_pids`` is interned per n).  Suspecting
+        # me: every arriving sender whose Halt already contains pid.
+        suspected_now = all_pids(self.n).difference(
+            [sender for sender, _payload in items], (pid,)
+        )
+        suspecting_me = {
+            sender for sender, payload in items if pid in payload[3]
+        }
+        additions = (suspected_now | suspecting_me) - halt
+        if additions:
+            halt = halt | additions
+            self.halt = halt
+        msg_set = [
+            payload[2]
+            for sender, payload in items
+            if sender not in halt
+        ]
         if msg_set:
-            self.est = min(m.payload[2] for m in msg_set)
+            self.est = min(msg_set)
 
     def msg_set_senders(
         self, k: Round, messages: tuple[Message, ...]

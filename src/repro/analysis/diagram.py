@@ -16,7 +16,7 @@ five lower-bound runs side by side.
 
 from __future__ import annotations
 
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, require_full_trace
 from repro.types import ProcessId, Round
 
 
@@ -35,7 +35,8 @@ def _cell(trace: Trace, pid: ProcessId, k: Round) -> str:
 
 def render_run(trace: Trace, *, upto: Round | None = None,
                title: str | None = None) -> str:
-    """Render one run as a process × round grid."""
+    """Render one run as a process × round grid (full traces only)."""
+    require_full_trace(trace, "rendering a space-time diagram")
     last = min(upto or trace.rounds_executed, trace.rounds_executed)
     rounds = list(range(1, last + 1))
     header = ["proc"] + [f"r{k}" for k in rounds]

@@ -35,6 +35,7 @@ Examples::
         --shard 0/2 --json shard0.json
     python -m repro sweep --grid experiments/ --json all.json
     python -m repro sweep --profile large --trace lean
+    python -m repro sweep --profile xlarge --trace lean
     python -m repro merge shard0.json shard1.json --json whole.json
     python -m repro grid validate experiments/
     python -m repro cache stats .sweep-cache
@@ -72,8 +73,10 @@ name) as one combined sweep: case indices are offset per grid and
 workload labels prefixed with the grid file's stem, so the single
 ``--json`` export merges all grids canonically.  ``--profile large``
 runs the stock large-n preset (n = 25 and n = 50, long horizons) the
-same way.  ``repro grid validate FILE_OR_DIR...`` lints grid files for
-CI without executing them.
+same way, and ``--profile xlarge`` the n = 100 milestone preset (one
+instance per family, horizon 102) that the round-view delivery
+pipeline makes a seconds-not-minutes run.  ``repro grid validate
+FILE_OR_DIR...`` lints grid files for CI without executing them.
 
 Trace modes
 -----------
@@ -173,6 +176,13 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
+    if args.diagram and args.trace == "lean":
+        # Fail before the run, with the fix in the message: the diagram
+        # renders per-round records, which lean traces do not carry.
+        raise SystemExit(
+            "repro run --diagram requires --trace full: lean traces "
+            "record no per-round data to render"
+        )
     factory = get_factory(args.algorithm)
     schedule = _build_workload(
         args.workload, args.n, args.t, args.horizon, args.sync_after
@@ -192,7 +202,7 @@ def _cmd_run(args) -> int:
     else:
         proposals = list(range(args.n))
 
-    trace = run_algorithm(factory, schedule, proposals)
+    trace = run_algorithm(factory, schedule, proposals, trace=args.trace)
     print(schedule.describe())
     print()
     if args.diagram:
@@ -674,7 +684,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--proposals", default="",
                             help="comma-separated ints (default 0..n-1)")
     run_parser.add_argument("--diagram", action="store_true",
-                            help="print a space-time diagram")
+                            help="print a space-time diagram "
+                                 "(requires --trace full)")
+    run_parser.add_argument(
+        "--trace", choices=("full", "lean"), default="full",
+        help="kernel trace mode (default full; lean skips per-round "
+             "records and cannot drive --diagram)",
+    )
 
     sub.add_parser("experiments", help="print the experiment tables")
 
@@ -691,8 +707,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--profile", default="",
         help="run a stock multi-grid preset (large: n=25 and n=50 with "
-             "long horizons); mutually exclusive with --grid and the "
-             "grid-shaping flags (except --seed)",
+             "long horizons; xlarge: the n=100 milestone); mutually "
+             "exclusive with --grid and the grid-shaping flags "
+             "(except --seed)",
     )
     sweep_parser.add_argument(
         "--trace", choices=("full", "lean"), default="lean",

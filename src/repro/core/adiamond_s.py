@@ -28,7 +28,7 @@ from __future__ import annotations
 from repro.algorithms.base import AlgorithmFactory
 from repro.algorithms.hurfin_raynal import HurfinRaynalES
 from repro.core.att2 import ATt2
-from repro.model.messages import Message
+from repro.sim.view import RoundView
 from repro.types import ProcessId, Round, Value
 
 
@@ -60,9 +60,8 @@ class ADiamondS(ATt2):
         )
         self.fd_history: dict[Round, frozenset[ProcessId]] = {}
 
-    def round_deliver(self, k: Round, messages: tuple[Message, ...]) -> None:
-        current_senders = {m.sender for m in messages if m.sent_round == k}
-        self.fd_history[k] = (
-            frozenset(range(self.n)) - current_senders - {self.pid}
-        )
-        super().round_deliver(k, messages)
+    def round_deliver_view(self, k: Round, view: RoundView) -> None:
+        # view.absent is all_pids - current_senders, shared per view
+        # group; the detector never suspects the process itself.
+        self.fd_history[k] = view.absent.difference((self.pid,))
+        super().round_deliver_view(k, view)

@@ -30,10 +30,10 @@ reproduced as experiment E8.
 
 from __future__ import annotations
 
-from repro.algorithms.amr_leader import lowest_sender_votes
+from repro.algorithms.amr_leader import lowest_sender_items
 from repro.algorithms.common import ConsensusAutomaton
 from repro.errors import AlgorithmError
-from repro.model.messages import Message
+from repro.sim.view import RoundView
 from repro.types import Payload, ProcessId, Round, Value
 
 AF_EST = "AF_EST"
@@ -54,14 +54,12 @@ class AFPlus2(ConsensusAutomaton):
     def round_payload(self, k: Round) -> Payload | None:
         return (AF_EST, k, self.est)
 
-    def round_deliver(self, k: Round, messages: tuple[Message, ...]) -> None:
-        current = [
-            m for m in self.current_round(messages, k) if m.tag == AF_EST
-        ]
+    def round_deliver_view(self, k: Round, view: RoundView) -> None:
+        current = view.tagged(AF_EST)
         if not current:
             return
-        msg_set = lowest_sender_votes(current, self.n - self.t)
-        values = [m.payload[2] for m in msg_set]
+        msg_set = lowest_sender_items(current, self.n - self.t)
+        values = [payload[2] for _sender, payload in msg_set]
         distinct = set(values)
         if len(distinct) == 1 and len(msg_set) >= self.n - self.t:
             self._decide(values[0], k)

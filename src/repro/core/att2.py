@@ -37,9 +37,9 @@ from __future__ import annotations
 
 from repro.algorithms.base import AlgorithmFactory
 from repro.algorithms.chandra_toueg import ChandraTouegES
-from repro.algorithms.common import ConsensusAutomaton, is_decide
+from repro.algorithms.common import ConsensusAutomaton
 from repro.algorithms.suspicion import ESTIMATE, EstimateState
-from repro.model.messages import Message
+from repro.sim.view import RoundView
 from repro.types import (
     BOTTOM,
     Payload,
@@ -108,28 +108,26 @@ class ATt2(ConsensusAutomaton):
             return (NEWESTIMATE, k, self.new_estimate)
         return self._underlying_automaton().payload(k - self._offset)
 
-    def round_deliver(self, k: Round, messages: tuple[Message, ...]) -> None:
+    def round_deliver_view(self, k: Round, view: RoundView) -> None:
         if k <= self.t + 1:
             if (
                 self.optimize_failure_free
                 and k == 2
-                and self._failure_free_fast_path(k, messages)
+                and self._failure_free_fast_path(k, view)
             ):
                 return
-            self.state.compute(k, messages)
+            self.state.compute_view(k, view)
             return
         if k == self.t + 2:
-            self._phase_two(k, messages)
+            self._phase_two(k, view)
             return
-        self._run_underlying(k, messages)
+        self._run_underlying(k, view)
 
     # -- phase 2 -------------------------------------------------------------
 
-    def _phase_two(self, k: Round, messages: tuple[Message, ...]) -> None:
+    def _phase_two(self, k: Round, view: RoundView) -> None:
         values = [
-            m.payload[2]
-            for m in self.current_round(messages, k)
-            if m.tag == NEWESTIMATE
+            payload[2] for _sender, payload in view.tagged(NEWESTIMATE)
         ]
         non_bottom = [v for v in values if not is_bottom(v)]
         if values and len(non_bottom) == len(values):
@@ -151,40 +149,33 @@ class ATt2(ConsensusAutomaton):
             )
         return self._underlying
 
-    def _run_underlying(self, k: Round, messages: tuple[Message, ...]) -> None:
+    def _run_underlying(self, k: Round, view: RoundView) -> None:
+        # C's round r is ES round r + offset, so C receives this round's
+        # delivery re-timestamped offset rounds earlier.  DECIDE messages
+        # never reach here (the decide-adoption protocol consumed them
+        # before round_deliver_view ran), and messages sent during C's
+        # "negative" rounds are dropped by the shift — exactly the
+        # forwarding filter of the message-based formulation.
         inner = self._underlying_automaton()
-        forwarded = tuple(
-            Message(
-                sent_round=m.sent_round - self._offset,
-                sender=m.sender,
-                receiver=m.receiver,
-                payload=m.payload,
-            )
-            for m in messages
-            if m.sent_round > self._offset and not is_decide(m)
-        )
-        inner.deliver(k - self._offset, forwarded)
+        inner.deliver_view(k - self._offset, view.shifted(self._offset))
         if inner.decided:
             self._decide(inner.decision, k)
 
     # -- figure 4 fast path (used by ATt2Optimized) ------------------------------
 
-    def _failure_free_fast_path(
-        self, k: Round, messages: tuple[Message, ...]
-    ) -> bool:
+    def _failure_free_fast_path(self, k: Round, view: RoundView) -> bool:
         """Figure 4, inserted before ``compute()`` in round 2.
 
         Returns True iff the process decided (and round-2 ``compute()``
         must be skipped).
         """
-        current = [
-            m for m in self.current_round(messages, k) if m.tag == ESTIMATE
-        ]
-        if not all(m.payload[3] == frozenset() for m in current):
+        current = view.tagged(ESTIMATE)
+        empty = frozenset()
+        if not all(payload[3] == empty for _sender, payload in current):
             return False
         if not current:
             return False
-        ests = [m.payload[2] for m in current]
+        ests = [payload[2] for _sender, payload in current]
         if len(current) == self.n:
             # Complete, suspicion-free exchange: every round-2 message in
             # the run carries the global minimum — decide it.

@@ -497,11 +497,15 @@ DEFAULT_SWEEP_ALGORITHMS = (
 
 
 #: Stock sweep profiles: named multi-grid experiment presets for the CLI.
-#: ``large`` is the large-n configuration the compiled kernel exists for —
-#: n ∈ {25, 50} at t just under n/3 with the long horizons the stock
-#: formula derives (30 and 54 rounds); family counts shrink with n so the
-#: whole profile stays a minutes-not-hours run on one machine.
-SWEEP_PROFILES = ("large",)
+#: ``large`` is the established large-n configuration — n ∈ {25, 50} at
+#: t just under n/3 with the long horizons the stock formula derives (30
+#: and 54 rounds); family counts shrink with n so the whole profile
+#: stays a minutes-not-hours run on one machine.  ``xlarge`` is the
+#: n = 100 milestone the round-view delivery pipeline exists for: one
+#: instance per family at horizon 102, the stock harness for scaling
+#: studies of the t + 2-round price of indulgence (a smoke CI lane runs
+#: it under a wall-clock budget so n = 100 regressions fail fast).
+SWEEP_PROFILES = ("large", "xlarge")
 
 
 def profile_grids(
@@ -519,6 +523,11 @@ def profile_grids(
                                        cases_per_family=4)),
             ("n50", default_sweep_grid(50, 16, seed=seed,
                                        cases_per_family=2)),
+        ]
+    if profile == "xlarge":
+        return [
+            ("n100", default_sweep_grid(100, 32, seed=seed,
+                                        cases_per_family=1)),
         ]
     raise GridError(
         f"unknown sweep profile {profile!r}; known: "

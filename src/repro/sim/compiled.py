@@ -12,11 +12,27 @@ and freezes the answers into a :class:`CompiledSchedule`:
 * ``senders[k]`` — the processes that send in round k (still up at the
   start of the round);
 * ``completers[k]`` — the processes that survive the whole of round k;
-* ``inboxes[k][receiver]`` — the flat delivery plan: the canonically
-  ordered ``(sent_round, sender)`` pairs whose messages arrive at
-  *receiver* in round k.  Messages to receivers that leave the
-  computation before the delivery round are already filtered out, so
-  the kernel never buffers anything it would later drop;
+* ``delayed_inboxes[k][receiver]`` / ``current_senders[k][receiver]`` —
+  the delivery plan, pre-bucketed for
+  :class:`~repro.sim.view.RoundView` construction: the canonically
+  ordered earlier-round ``(sent_round, sender)`` pairs, and the
+  ascending senders whose round-k message arrives in round k (their
+  ``sent_round`` is implied) — the per-message age test is resolved at
+  compile time.  Messages to receivers that leave the computation
+  before the delivery round are already filtered out, so the kernel
+  never buffers anything it would later drop.  The merged flat form is
+  available as the derived ``inboxes`` property (diagnostics/tests
+  only — storing it would double the plan);
+* ``current_groups[k]`` / ``delayed_groups[k]`` — for each receiver,
+  the lowest receiver id with a byte-identical current-round
+  (respectively delayed) round-k plan.  Payload availability is global
+  (a sender either broadcast in a round or did not), so receivers in
+  one group see identical ``(sender, payload)`` buckets and the kernel
+  builds them once per group.  The two keys are independent: a delayed
+  delivery only desynchronizes a receiver's *delayed* bucket, so in the
+  common sparse-delay rounds nearly every receiver still shares the one
+  expensive current-round bucket set — in an all-to-all synchronous
+  round, the partitioning work is paid once per *round*;
 * ``crashed[k]`` — the processes crashing in round k (trace metadata).
 
 The plan captures everything the *schedule* contributes to a run; only
@@ -38,6 +54,7 @@ workers receive lean schedules and recompile locally.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.model.schedule import Schedule
 from repro.types import ProcessId, Round
@@ -61,11 +78,19 @@ class CompiledSchedule:
         completers: per round, the processes that complete the round's
             receive phase per the schedule (ascending pids; dynamic
             halting is the kernel's concern).
-        inboxes: per round and receiver, the ordered ``(sent_round,
-            sender)`` pairs delivered to that receiver in that round —
-            already sorted into the canonical delivery order and
-            filtered of messages whose receiver leaves the computation
-            before delivery.
+        delayed_inboxes: per round and receiver, the earlier-round
+            ``(sent_round, sender)`` pairs delivered to that receiver
+            in that round, in canonical order and already filtered of
+            messages whose receiver leaves the computation before
+            delivery.
+        current_senders: the current-round half of the delivery plan —
+            per round and receiver, the ascending senders whose round-k
+            message arrives in round k.
+        current_groups: per round and receiver, the lowest receiver id
+            whose ``current_senders`` round plan is identical — the key
+            under which the kernel shares one current-round
+            :class:`~repro.sim.view.RoundView` bucket set.
+        delayed_groups: the same sharing key for the delayed plan.
         crashed: per round, the processes crashing in that round.
     """
 
@@ -74,8 +99,35 @@ class CompiledSchedule:
     horizon: Round
     senders: tuple[tuple[ProcessId, ...], ...]
     completers: tuple[tuple[ProcessId, ...], ...]
-    inboxes: tuple[tuple[tuple[tuple[Round, ProcessId], ...], ...], ...]
+    delayed_inboxes: tuple[
+        tuple[tuple[tuple[Round, ProcessId], ...], ...], ...
+    ]
+    current_senders: tuple[tuple[tuple[ProcessId, ...], ...], ...]
+    current_groups: tuple[tuple[ProcessId, ...], ...]
+    delayed_groups: tuple[tuple[ProcessId, ...], ...]
     crashed: tuple[frozenset[ProcessId], ...]
+
+    @cached_property
+    def inboxes(
+        self,
+    ) -> tuple[tuple[tuple[tuple[Round, ProcessId], ...], ...], ...]:
+        """The merged flat delivery plan: per round and receiver, the
+        canonically ordered ``(sent_round, sender)`` pairs.
+
+        Derived on demand from the split halves the kernel actually
+        reads — storing it eagerly would double every memoized plan's
+        O(n² · horizon) footprint for a structure only diagnostics and
+        tests consume.
+        """
+        return tuple(
+            tuple(
+                delayed + tuple((k, sender) for sender in current)
+                for delayed, current in zip(per_delayed, per_current)
+            )
+            for k, (per_delayed, per_current) in enumerate(
+                zip(self.delayed_inboxes, self.current_senders)
+            )
+        )
 
 
 def _compile(schedule: Schedule) -> CompiledSchedule:
@@ -129,9 +181,34 @@ def _compile(schedule: Schedule) -> CompiledSchedule:
                     continue
                 inboxes[delivery][receiver].append((k, sender))
 
+    delayed_inboxes: list[tuple] = [()]
+    current_senders: list[tuple] = [()]
+    current_groups: list[tuple] = [()]
+    delayed_groups: list[tuple] = [()]
     for k in range(1, horizon + 1):
+        round_delayed = []
+        round_current = []
+        round_cgroups = []
+        round_dgroups = []
+        cgroup_reps: dict[tuple, ProcessId] = {}
+        dgroup_reps: dict[tuple, ProcessId] = {}
         for receiver in range(n):
-            inboxes[k][receiver].sort()
+            entries = inboxes[k][receiver]
+            entries.sort()
+            delayed = tuple(
+                pair for pair in entries if pair[0] != k
+            )
+            current = tuple(
+                sender for sent_round, sender in entries if sent_round == k
+            )
+            round_delayed.append(delayed)
+            round_current.append(current)
+            round_cgroups.append(cgroup_reps.setdefault(current, receiver))
+            round_dgroups.append(dgroup_reps.setdefault(delayed, receiver))
+        delayed_inboxes.append(tuple(round_delayed))
+        current_senders.append(tuple(round_current))
+        current_groups.append(tuple(round_cgroups))
+        delayed_groups.append(tuple(round_dgroups))
 
     if schedule.__dict__.get("_sync_from_cache") is None:
         first_bad = 0
@@ -146,10 +223,10 @@ def _compile(schedule: Schedule) -> CompiledSchedule:
         horizon=horizon,
         senders=tuple(senders),
         completers=tuple(completers),
-        inboxes=tuple(
-            tuple(tuple(entries) for entries in per_receiver)
-            for per_receiver in inboxes
-        ),
+        delayed_inboxes=tuple(delayed_inboxes),
+        current_senders=tuple(current_senders),
+        current_groups=tuple(current_groups),
+        delayed_groups=tuple(delayed_groups),
         crashed=tuple(crashed),
     )
 

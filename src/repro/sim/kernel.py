@@ -16,8 +16,16 @@ receive phase.
 Execution runs on a compiled plan (:mod:`repro.sim.compiled`): the
 schedule's send/completion/delivery structure is resolved once per
 schedule, so the per-round hot loop touches only flat tuples — no
-``sends_in_round``/``delivery_round``/``completes_round`` calls.  The
-original query-at-a-time loop is preserved verbatim as
+``sends_in_round``/``delivery_round``/``completes_round`` calls.
+Delivery goes through :class:`~repro.sim.view.RoundView`: the kernel
+builds each receiver's structured inbox (current-round items bucketed
+by tag, delayed messages separate, present-sender set) straight from
+the plan — shared across receivers with identical delivery plans — and
+drives the automata through
+:meth:`~repro.algorithms.base.Automaton.deliver_view`.  Automata that
+only implement the legacy ``deliver`` receive the canonically ordered
+flat message tuple via the base-class shim.  The original
+query-at-a-time loop is preserved verbatim as
 :func:`execute_reference`; the equivalence tests and the kernel
 microbenchmark hold the two byte-identical on full traces.
 
@@ -30,12 +38,18 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.algorithms.base import Automaton
+from repro.algorithms.base import Automaton, prefers_legacy_deliver
 from repro.errors import SimulationError
 from repro.model.messages import DUMMY, Message, sort_delivery
 from repro.model.schedule import Schedule
 from repro.sim.compiled import compile_schedule
 from repro.sim.trace import AnyTrace, LeanTrace, RoundRecord, Trace
+from repro.sim.view import (
+    RoundView,
+    SendTable,
+    build_current_buckets,
+    build_delayed_buckets,
+)
 from repro.types import ProcessId, Round, Value
 
 #: The supported ``trace=`` modes, in documentation order.
@@ -45,6 +59,41 @@ TRACE_MODES = ("full", "lean")
 #: (``None`` cannot serve — the kernel substitutes DUMMY for it, and no
 #: payload may legitimately be the sentinel itself.)
 _NOT_SENT = object()
+
+
+def _round_view_factory(k, n, plan, table, payloads):
+    """One round's view builder, sharing buckets across plan groups.
+
+    Returns ``view_for(pid)``; both trace-mode loops drive it, so the
+    bucket-sharing and decide-concatenation logic exists exactly once —
+    a divergence here would break the byte-identical-across-modes
+    invariant the suite asserts.
+    """
+    delayed_plan = plan.delayed_inboxes[k]
+    current_plan = plan.current_senders[k]
+    cgroups = plan.current_groups[k]
+    dgroups = plan.delayed_groups[k]
+    shared_current: dict[ProcessId, tuple] = {}
+    shared_delayed: dict[ProcessId, tuple] = {}
+
+    def view_for(pid: ProcessId) -> RoundView:
+        rep = cgroups[pid]
+        cur = shared_current.get(rep)
+        if cur is None:
+            cur = shared_current[rep] = build_current_buckets(
+                current_plan[pid], table
+            )
+        rep = dgroups[pid]
+        dly = shared_delayed.get(rep)
+        if dly is None:
+            dly = shared_delayed[rep] = build_delayed_buckets(
+                delayed_plan[pid], payloads, _NOT_SENT
+            )
+        return RoundView(
+            k, pid, n, dly[0], cur[0], cur[1], dly[1] + cur[2], cur[3]
+        )
+
+    return view_for
 
 
 def _check_run(automata: Sequence[Automaton], schedule: Schedule) -> None:
@@ -120,6 +169,10 @@ def _execute_full(
     decided_at: dict[ProcessId, tuple[Value, Round]] = {}
     # payloads[pid][k] is what pid broadcast in round k (or _NOT_SENT).
     payloads = [[_NOT_SENT] * (horizon + 1) for _ in range(n)]
+    # Per-automaton delivery dispatch: a class whose most-derived hook
+    # is the legacy ``deliver`` gets the flat tuple directly, so legacy
+    # overrides are honored even when an ancestor ported to views.
+    legacy_entry = [prefers_legacy_deliver(type(a)) for a in automata]
     records: list[RoundRecord] = []
 
     for k in range(1, horizon + 1):
@@ -128,31 +181,37 @@ def _execute_full(
         halted_this_round: set[ProcessId] = set()
 
         # --- send phase ---------------------------------------------------
+        table = SendTable(n)
+        record_send = table.record
         for pid in plan.senders[k]:
             if pid in halted:
                 continue
             payload = automata[pid].payload(k)
             if payload is None:
                 payload = DUMMY
+            else:
+                hash(payload)  # fail fast on unhashable payloads
             sent[pid] = payload
             payloads[pid][k] = payload
+            record_send(pid, payload)
+        table.seal()
 
         # --- receive phase --------------------------------------------------
         delivered: dict[ProcessId, tuple[Message, ...]] = {}
-        round_inboxes = plan.inboxes[k]
+        view_for = _round_view_factory(k, n, plan, table, payloads)
         for pid in plan.completers[k]:
             if pid in halted:
                 continue
-            inbox = tuple(
-                Message(
-                    sent_round=sent_round, sender=sender, receiver=pid,
-                    payload=payloads[sender][sent_round],
-                )
-                for sent_round, sender in round_inboxes[pid]
-                if payloads[sender][sent_round] is not _NOT_SENT
-            )
+            view = view_for(pid)
+            # Materialize the receiver's inbox for the round record; the
+            # automaton sees the structured view (or, on the legacy
+            # path, the same tuple).
+            inbox = view.messages
             automaton = automata[pid]
-            automaton.deliver(k, inbox)
+            if legacy_entry[pid]:
+                automaton.deliver(k, inbox)
+            else:
+                automaton.deliver_view(k, view)
             delivered[pid] = inbox
             if automaton.decided and pid not in decided_at:
                 decided_at[pid] = (automaton.decision, k)
@@ -193,20 +252,15 @@ def _execute_lean(
     halted_rounds: dict[ProcessId, Round] = {}
     decided_at: dict[ProcessId, tuple[Value, Round]] = {}
     payloads = [[_NOT_SENT] * (horizon + 1) for _ in range(n)]
+    legacy_entry = [prefers_legacy_deliver(type(a)) for a in automata]
     message_count = 0
     rounds_executed = 0
-    # The lean loop materializes messages without the frozen-dataclass
-    # constructor: per-field object.__setattr__ plus the per-message
-    # __post_init__ hashability probe are the single largest cost of a
-    # large-n round.  Equality, ordering and hashing of the resulting
-    # messages are unchanged (dataclass dunders read the instance dict);
-    # the hashability fail-fast moves to the send phase, paid once per
-    # payload instead of once per (payload, receiver).
-    new_message = Message.__new__
 
     for k in range(1, horizon + 1):
         rounds_executed = k
 
+        table = SendTable(n)
+        record_send = table.record
         for pid in plan.senders[k]:
             if pid in halted:
                 continue
@@ -216,26 +270,26 @@ def _execute_lean(
             else:
                 hash(payload)  # fail fast on unhashable payloads
             payloads[pid][k] = payload
+            record_send(pid, payload)
+        table.seal()
 
-        round_inboxes = plan.inboxes[k]
+        # The lean receive phase never materializes Message objects
+        # unless an automaton falls back to the legacy ``deliver``
+        # (the RoundView then builds the flat tuple on demand): ported
+        # automata consume the shared per-group buckets directly, so
+        # the per-round delivery cost is one bucket build per view
+        # group plus the automaton logic itself.
+        view_for = _round_view_factory(k, n, plan, table, payloads)
         for pid in plan.completers[k]:
             if pid in halted:
                 continue
-            inbox = []
-            for sent_round, sender in round_inboxes[pid]:
-                payload = payloads[sender][sent_round]
-                if payload is _NOT_SENT:
-                    continue
-                message = new_message(Message)
-                message.__dict__.update(
-                    sent_round=sent_round, sender=sender,
-                    receiver=pid, payload=payload,
-                )
-                inbox.append(message)
-            inbox = tuple(inbox)
+            view = view_for(pid)
             automaton = automata[pid]
-            automaton.deliver(k, inbox)
-            message_count += len(inbox)
+            if legacy_entry[pid]:
+                automaton.deliver(k, view.messages)
+            else:
+                automaton.deliver_view(k, view)
+            message_count += view.size
             if automaton.decided and pid not in decided_at:
                 decided_at[pid] = (automaton.decision, k)
             if automaton.halted:

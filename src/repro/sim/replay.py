@@ -17,7 +17,7 @@ from typing import Any, Mapping
 from repro.errors import SimulationError
 from repro.model.schedule import CrashSpec, Schedule
 from repro.sim.kernel import run_algorithm
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, require_full_trace
 
 FORMAT_VERSION = 1
 
@@ -85,8 +85,10 @@ def replay(trace: Trace, factory) -> Trace:
 
     Raises :class:`SimulationError` on any divergence — which, for the
     deterministic kernel, indicates either a non-deterministic automaton
-    or a corrupted trace.
+    or a corrupted trace.  Requires a full trace: the per-process view
+    comparison below is meaningless without per-round records.
     """
+    require_full_trace(trace, "replay")
     fresh = run_algorithm(factory, trace.schedule, list(trace.proposals))
     if dict(fresh.decisions) != dict(trace.decisions):
         raise SimulationError(

@@ -311,3 +311,22 @@ class LeanTrace:
 
 #: Either trace kind; the shared surface consumed by the metrics layer.
 AnyTrace = Trace | LeanTrace
+
+
+def require_full_trace(trace: AnyTrace, what: str) -> None:
+    """Fail with an actionable message when *what* needs per-round data.
+
+    Lean traces carry no round records, so consumers that render or
+    compare rounds (diagrams, replay, the lower-bound machinery) cannot
+    work from them; without this guard the failure surfaces as an
+    ``AttributeError`` deep inside the consumer.  The error names the
+    fix so callers don't have to.
+    """
+    if not isinstance(trace, Trace):
+        from repro.errors import SimulationError
+
+        raise SimulationError(
+            f"{what} requires a full trace; this run was executed with "
+            f"trace=\"lean\", which records no per-round data — re-run "
+            f"with trace=\"full\""
+        )

@@ -1,0 +1,408 @@
+"""Round views: the structured inbox the kernel hands each automaton.
+
+Before this layer, the kernel delivered a flat, canonically sorted tuple
+of :class:`~repro.model.messages.Message` objects, and every automaton
+re-derived the same structure from it each round: filter to the current
+round, dispatch on the payload tag, collect the sender set for
+suspicion, scan for DECIDE messages.  Across ~10 algorithms that was
+3–7 passes over every inbox — and at n = 100 an inbox is 100 messages,
+delivered to 100 receivers, every round.
+
+A :class:`RoundView` is that structure computed *once*, straight from
+the compiled plan (:mod:`repro.sim.compiled`), before the automaton
+runs:
+
+* ``current`` — the round-k ``(sender, payload)`` items, ascending by
+  sender (the canonical delivery order restricted to one round);
+* ``tagged(tag)`` — the current-round items pre-partitioned by payload
+  tag;
+* ``delayed`` — earlier-round ``(sent_round, sender, payload)`` triples
+  whose delayed delivery lands in this round;
+* ``current_senders`` / ``absent`` — the present/absent sender sets the
+  suspicion machinery consumes;
+* ``decides`` — every DECIDE payload in the delivery, in canonical
+  message order, so the universal decide-adoption protocol is one tuple
+  iteration instead of a full-inbox scan.
+
+Message objects are materialized lazily (:attr:`RoundView.messages`):
+an automaton ported onto :meth:`~repro.algorithms.base.Automaton.
+deliver_view` that only touches the structured accessors never pays for
+them, which is where most of the large-n delivery speedup comes from.
+Receivers with byte-identical delivery plans share one set of buckets
+per round — current-round and delayed plans are keyed independently
+(``CompiledSchedule.current_groups`` / ``delayed_groups``), so a sparse
+delayed delivery only desynchronizes the small delayed bucket and the
+expensive current-round partitioning is still paid once per round in
+the common all-to-all case.  The partitioning itself starts from a
+:class:`SendTable` the kernel fills during the send phase, so payload
+tags are classified once per broadcast, not once per receiver.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.model.messages import Message, fast_message
+from repro.types import Payload, ProcessId, Round
+
+__all__ = [
+    "RoundView", "SendTable", "all_pids", "build_current_buckets",
+    "build_delayed_buckets",
+]
+
+#: The universal decide tag (mirrors ``repro.algorithms.common.DECIDE``;
+#: defined here so the view layer never imports the algorithm layer).
+_DECIDE = "DECIDE"
+
+
+def _is_decide_payload(payload) -> bool:
+    """Payload-level ``is_decide`` (tuple-tagged DECIDE, same predicate
+    as ``repro.algorithms.common.is_decide``).  Every bucket builder
+    must classify decides identically — the byte-identical-across-paths
+    invariant hinges on this being the one definition.
+    (``SendTable.record`` keeps an inlined copy fused into its tag
+    classification; the view tests pin the two against each other.)
+    """
+    return (
+        isinstance(payload, tuple) and bool(payload) and payload[0] == _DECIDE
+    )
+
+
+_ALL_PIDS_CACHE: dict[int, frozenset[int]] = {}
+
+
+def all_pids(n: int) -> frozenset[ProcessId]:
+    """The interned ``frozenset(range(n))`` — suspicion updates build
+    absent-sender sets against it every round, so it is cached per n."""
+    cached = _ALL_PIDS_CACHE.get(n)
+    if cached is None:
+        cached = _ALL_PIDS_CACHE[n] = frozenset(range(n))
+    return cached
+
+
+class RoundView:
+    """One receiver's structured round-k delivery.
+
+    Attributes:
+        round: the 1-based round the delivery belongs to.
+        receiver: the receiving process id.
+        n: system size.
+        delayed: earlier-round deliveries landing this round, as
+            ``(sent_round, sender, payload)`` triples in canonical order.
+        current: round-``round`` deliveries as ``(sender, payload)``
+            pairs, ascending by sender.
+        by_tag: the ``current`` items partitioned by payload tag (first
+            tuple element, or the payload itself for non-tuple payloads).
+        decides: every DECIDE payload in the whole delivery (delayed and
+            current), in canonical message order.
+        current_senders: the senders of ``current``, as a frozenset.
+
+    The bucket attributes may be shared between views of different
+    receivers with identical delivery plans; views are read-only.
+    """
+
+    __slots__ = (
+        "round", "receiver", "n", "delayed", "current", "by_tag",
+        "decides", "current_senders", "_messages", "_absent",
+    )
+
+    def __init__(
+        self,
+        round: Round,
+        receiver: ProcessId,
+        n: int,
+        delayed: tuple[tuple[Round, ProcessId, Payload], ...],
+        current: tuple[tuple[ProcessId, Payload], ...],
+        by_tag: dict,
+        decides: tuple[Payload, ...],
+        current_senders: frozenset[ProcessId],
+    ):
+        self.round = round
+        self.receiver = receiver
+        self.n = n
+        self.delayed = delayed
+        self.current = current
+        self.by_tag = by_tag
+        self.decides = decides
+        self.current_senders = current_senders
+        self._messages = None
+        self._absent = None
+
+    # -- structured accessors ------------------------------------------------
+
+    def tagged(self, tag) -> tuple[tuple[ProcessId, Payload], ...]:
+        """Current-round ``(sender, payload)`` items carrying *tag*."""
+        return self.by_tag.get(tag, ())
+
+    @property
+    def all_pids(self) -> frozenset[ProcessId]:
+        return all_pids(self.n)
+
+    @property
+    def absent(self) -> frozenset[ProcessId]:
+        """Processes from which no current-round message arrived.
+
+        Includes the receiver itself when its own message is missing;
+        suspicion call sites subtract their own pid, matching the
+        paper's "a process never suspects itself".
+        """
+        absent = self._absent
+        if absent is None:
+            absent = self._absent = all_pids(self.n) - self.current_senders
+        return absent
+
+    @property
+    def size(self) -> int:
+        """Number of messages delivered this round (all ages)."""
+        return len(self.delayed) + len(self.current)
+
+    @property
+    def messages(self) -> tuple[Message, ...]:
+        """The legacy flat inbox, in canonical delivery order.
+
+        Materialized on first access (and cached): delayed messages first
+        — they sort ahead on ``sent_round`` — then current-round messages
+        ascending by sender.  This is what the
+        :meth:`~repro.algorithms.base.Automaton.deliver_view` fallback
+        shim feeds to unported ``deliver`` implementations.
+        """
+        messages = self._messages
+        if messages is None:
+            k = self.round
+            receiver = self.receiver
+            messages = self._messages = tuple(
+                [
+                    fast_message(sent_round, sender, receiver, payload)
+                    for sent_round, sender, payload in self.delayed
+                ]
+                + [
+                    fast_message(k, sender, receiver, payload)
+                    for sender, payload in self.current
+                ]
+            )
+        return messages
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_entries(
+        cls,
+        round: Round,
+        receiver: ProcessId,
+        n: int,
+        entries: Iterable[tuple[Round, ProcessId, Payload]],
+    ) -> "RoundView":
+        """Build a view from ``(sent_round, sender, payload)`` triples.
+
+        *entries* must already be in canonical delivery order (ascending
+        ``(sent_round, sender)``) — the compiled plan's inboxes are.
+        """
+        delayed: list = []
+        current: list = []
+        by_tag: dict = {}
+        decides: list = []
+        senders: list = []
+        for sent_round, sender, payload in entries:
+            if isinstance(payload, tuple) and payload:
+                tag = payload[0]
+                if _is_decide_payload(payload):
+                    decides.append(payload)
+            else:
+                tag = payload
+            if sent_round == round:
+                senders.append(sender)
+                item = (sender, payload)
+                current.append(item)
+                bucket = by_tag.get(tag)
+                if bucket is None:
+                    by_tag[tag] = [item]
+                else:
+                    bucket.append(item)
+            else:
+                delayed.append((sent_round, sender, payload))
+        return cls(
+            round, receiver, n,
+            tuple(delayed), tuple(current),
+            {tag: tuple(items) for tag, items in by_tag.items()},
+            tuple(decides), frozenset(senders),
+        )
+
+    @classmethod
+    def from_messages(
+        cls,
+        round: Round,
+        receiver: ProcessId,
+        n: int,
+        messages: Sequence[Message],
+    ) -> "RoundView":
+        """Build a view from an already-materialized flat inbox.
+
+        The bridge for legacy entry points: direct ``deliver`` calls
+        (tests, out-of-tree drivers) reach the ported
+        ``round_deliver_view`` implementations through this constructor.
+        Message order is preserved — for kernel-built inboxes that is
+        the canonical order; hand-built test inboxes keep whatever order
+        the test chose, exactly as the flat ``deliver`` path did.
+        """
+        view = cls.from_entries(
+            round, receiver, n,
+            ((m.sent_round, m.sender, m.payload) for m in messages),
+        )
+        view._messages = tuple(messages)
+        return view
+
+    def shifted(self, offset: Round) -> "RoundView":
+        """This delivery re-timestamped *offset* rounds earlier.
+
+        Used to drive a nested automaton that started ``offset`` rounds
+        late (A_{t+2}'s underlying consensus module): current items stay
+        current, delayed items sent at or before round *offset* are
+        dropped (they predate the nested automaton), the remainder shift
+        by *offset*.  Requires a delivery with no DECIDE messages — the
+        decide-adoption protocol consumes those before any nested
+        automaton runs.
+        """
+        if self.decides:
+            raise ValueError(
+                "cannot shift a delivery containing DECIDE messages"
+            )
+        return RoundView(
+            self.round - offset, self.receiver, self.n,
+            tuple(
+                (sent_round - offset, sender, payload)
+                for sent_round, sender, payload in self.delayed
+                if sent_round > offset
+            ),
+            self.current, self.by_tag, (), self.current_senders,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RoundView(r{self.round} ->p{self.receiver}: "
+            f"{len(self.current)} current, {len(self.delayed)} delayed)"
+        )
+
+
+class SendTable:
+    """One round's broadcast payloads, structured for bucket building.
+
+    Filled by the kernel *during* the send phase (no extra pass): for
+    every process that actually broadcast, the interned ``(sender,
+    payload)`` item and the payload tag; plus three round-level facts
+    the bucket builders use for their fast paths — the broadcaster
+    frozenset, whether the whole round carries a single tag, and whether
+    any broadcast is a DECIDE announcement.  All of it is a pure
+    function of the round's sends, so every receiver shares one table.
+    """
+
+    __slots__ = (
+        "items", "tags", "is_decide", "count", "senders", "single_tag",
+        "has_decides",
+    )
+
+    def __init__(self, n: int):
+        self.items: list = [None] * n      # (sender, payload) or None
+        self.tags: list = [None] * n       # payload tag, for senders
+        self.is_decide: list = [False] * n
+        self.count = 0                      # number of broadcasters
+        self.senders: frozenset = frozenset()
+        self.single_tag = None              # the round's tag, if unique
+        self.has_decides = False
+
+    def record(self, sender: ProcessId, payload: Payload) -> None:
+        """Note that *sender* broadcast *payload* this round."""
+        self.items[sender] = (sender, payload)
+        if isinstance(payload, tuple) and payload:
+            tag = payload[0]
+            if tag == _DECIDE:
+                self.is_decide[sender] = True
+                self.has_decides = True
+        else:
+            tag = payload
+        self.tags[sender] = tag
+        if self.count == 0:
+            self.single_tag = tag
+        elif tag != self.single_tag:
+            self.single_tag = None
+        self.count += 1
+
+    def seal(self) -> None:
+        """Finalize after the send phase (computes the sender set)."""
+        self.senders = frozenset(
+            sender for sender, item in enumerate(self.items)
+            if item is not None
+        )
+
+
+def build_current_buckets(
+    current_plan: Sequence[ProcessId], table: SendTable
+) -> tuple:
+    """One current-group's shared buckets: ``(current, by_tag, decides,
+    current_senders)``.
+
+    *current_plan* is the compiled ascending sender list for one
+    receiver group; senders that never broadcast (halted) drop out via
+    the table.  The common round shape — every broadcast carries the
+    same tag, none of them a DECIDE — collapses to a single filtered
+    copy of the table's items; mixed rounds (coordinator phases, decide
+    announcements) take the general partitioning path.
+    """
+    items = table.items
+    current = [
+        item for s in current_plan if (item := items[s]) is not None
+    ]
+    if not current:
+        return ((), {}, (), frozenset())
+    current = tuple(current)
+    if len(current) == table.count:
+        senders = table.senders
+    else:
+        senders = frozenset(item[0] for item in current)
+    single_tag = table.single_tag
+    if single_tag is not None and not table.has_decides:
+        return (current, {single_tag: current}, (), senders)
+    tags = table.tags
+    is_decide = table.is_decide
+    by_tag: dict = {}
+    decides: list = []
+    for item in current:
+        sender = item[0]
+        if is_decide[sender]:
+            decides.append(item[1])
+        tag = tags[sender]
+        bucket = by_tag.get(tag)
+        if bucket is None:
+            by_tag[tag] = [item]
+        else:
+            bucket.append(item)
+    return (
+        current,
+        {tag: tuple(bucket) for tag, bucket in by_tag.items()},
+        tuple(decides),
+        senders,
+    )
+
+
+def build_delayed_buckets(
+    delayed_plan: Sequence[tuple[Round, ProcessId]],
+    payloads: Sequence[Sequence[Payload]],
+    not_sent: object,
+) -> tuple:
+    """One delayed-group's shared buckets: ``(delayed, decides)``.
+
+    *payloads* is the kernel's ``payloads[sender][sent_round]`` grid
+    with *not_sent* marking senders that never broadcast in the
+    message's round (halted before it).
+    """
+    if not delayed_plan:
+        return ((), ())
+    delayed: list = []
+    decides: list = []
+    for sent_round, sender in delayed_plan:
+        payload = payloads[sender][sent_round]
+        if payload is not_sent:
+            continue
+        delayed.append((sent_round, sender, payload))
+        if _is_decide_payload(payload):
+            decides.append(payload)
+    return tuple(delayed), tuple(decides)

@@ -99,3 +99,130 @@ class TestCompute:
             est_message(2, 2, 0, 3),
         )
         assert state.msg_set_senders(2, msgs) == frozenset({0, 2})
+
+
+class TwoPassReference:
+    """The original two-pass ``compute()``, kept verbatim as the oracle.
+
+    The shipped implementation is a batched single pass over the round's
+    ESTIMATE items; this is the formulation it replaced (filter, sender
+    set, ``frozenset(range(n))`` rebuild, msgSet re-filter), against
+    which the property below holds them equivalent.
+    """
+
+    def __init__(self, pid, n, est, halt=frozenset()):
+        self.pid = pid
+        self.n = n
+        self.est = est
+        self.halt = frozenset(halt)
+
+    def compute(self, k, messages):
+        current = [
+            m
+            for m in messages
+            if m.sent_round == k and m.tag == ESTIMATE
+        ]
+        senders = {m.sender for m in current}
+        suspected_now = frozenset(range(self.n)) - senders - {self.pid}
+        suspecting_me = frozenset(
+            m.sender for m in current if self.pid in m.payload[3]
+        )
+        self.halt = self.halt | suspected_now | suspecting_me
+        msg_set = [m for m in current if m.sender not in self.halt]
+        if msg_set:
+            self.est = min(m.payload[2] for m in msg_set)
+
+
+class TestBatchedComputeEqualsTwoPassReference:
+    """Satellite property: the batched single-pass update is the paper's
+    compute(), bit for bit, over adversarial message mixtures."""
+
+    @staticmethod
+    def _strategy():
+        from hypothesis import strategies as st
+
+        n = st.integers(min_value=2, max_value=8)
+
+        def messages_for(n_value):
+            pid_st = st.integers(min_value=0, max_value=n_value - 1)
+            halt_st = st.frozensets(pid_st, max_size=n_value)
+            estimate = st.builds(
+                lambda k, sender, est, halt: Message(
+                    sent_round=k, sender=sender, receiver=0,
+                    payload=estimate_payload(k, est, halt),
+                ),
+                st.integers(min_value=1, max_value=4),
+                pid_st,
+                st.integers(min_value=-5, max_value=5),
+                halt_st,
+            )
+            foreign = st.builds(
+                lambda k, sender, tag: Message(
+                    sent_round=k, sender=sender, receiver=0,
+                    payload=(tag, k, sender),
+                ),
+                st.integers(min_value=1, max_value=4),
+                pid_st,
+                st.sampled_from(["DECIDE", "FLOOD", "NEWESTIMATE"]),
+            )
+            return st.tuples(
+                st.just(n_value),
+                pid_st,
+                halt_st,
+                st.lists(st.one_of(estimate, foreign), max_size=12),
+                st.integers(min_value=1, max_value=4),
+            )
+
+        return n.flatmap(messages_for)
+
+    def test_batched_equals_reference(self):
+        from hypothesis import given, settings
+
+        @settings(max_examples=300, deadline=None)
+        @given(self._strategy())
+        def check(case):
+            n, pid, halt, messages, k = case
+            halt = frozenset(halt) - {pid}  # a process never self-suspects
+            batched = EstimateState(pid=pid, n=n, est=99, halt=halt)
+            reference = TwoPassReference(pid=pid, n=n, est=99, halt=halt)
+            batched.compute(k, tuple(messages))
+            reference.compute(k, tuple(messages))
+            assert batched.halt == reference.halt
+            assert batched.est == reference.est
+
+        check()
+
+    def test_view_entry_point_equals_message_entry_point(self):
+        from repro.sim.view import RoundView
+
+        for seed in range(40):
+            import random
+
+            rng = random.Random(seed)
+            n = rng.randint(2, 7)
+            pid = rng.randrange(n)
+            k = rng.randint(1, 4)
+            messages = []
+            for _ in range(rng.randint(0, 10)):
+                sender = rng.randrange(n)
+                sent = rng.randint(1, k)
+                if rng.random() < 0.7:
+                    payload = estimate_payload(
+                        sent, rng.randint(-5, 5),
+                        frozenset(rng.sample(range(n), rng.randint(0, n))),
+                    )
+                else:
+                    payload = ("FLOOD", sent, sender)
+                messages.append(Message(
+                    sent_round=sent, sender=sender, receiver=pid,
+                    payload=payload,
+                ))
+            messages.sort()
+            via_messages = EstimateState(pid=pid, n=n, est=42)
+            via_view = EstimateState(pid=pid, n=n, est=42)
+            via_messages.compute(k, tuple(messages))
+            via_view.compute_view(
+                k, RoundView.from_messages(k, pid, n, tuple(messages))
+            )
+            assert via_messages.halt == via_view.halt
+            assert via_messages.est == via_view.est

@@ -69,3 +69,17 @@ class TestSideBySide:
         text = render_side_by_side({"floodset": a, "att2": b})
         assert "--- floodset ---" in text
         assert "--- att2 ---" in text
+
+
+class TestLeanTraceRejected:
+    def test_render_run_refuses_lean_traces(self):
+        import pytest
+
+        from repro.errors import SimulationError
+
+        trace = run_algorithm(
+            FloodSet, Schedule.failure_free(3, 1, 4), [0, 1, 2],
+            trace="lean",
+        )
+        with pytest.raises(SimulationError, match="requires a full trace"):
+            render_run(trace)

@@ -225,3 +225,29 @@ class TestProfileGrids:
         assert a[0][1].seed == 1
         assert b[0][1].seed == 2
         assert a[0][1] != b[0][1]
+
+
+class TestXLargeProfile:
+    def test_xlarge_profile_shape(self):
+        from repro.engine.grids import profile_grids
+
+        grids = profile_grids("xlarge")
+        assert [label for label, _grid in grids] == ["n100"]
+        _label, grid = grids[0]
+        assert (grid.n, grid.t) == (100, 32)
+        # one instance per family keeps the n=100 milestone a smoke-sized
+        # run; the long horizon comes from the stock formula.
+        assert all(fam.horizon == 102 for fam in grid.families)
+        assert grid.case_count == len(grid.algorithms) * sum(
+            fam.count for fam in grid.families
+        )
+
+    def test_xlarge_expands_without_building_schedules_eagerly(self):
+        # Expansion builds the 100-process schedules; it must stay a
+        # sub-second operation so the CLI can print its banner fast.
+        from repro.engine.grids import profile_grids
+
+        _label, grid = profile_grids("xlarge")[0]
+        cases = expand_grid(grid)
+        assert len(cases) == grid.case_count
+        assert all(case.schedule.n == 100 for case in cases)

@@ -230,3 +230,65 @@ class TestCompiledPlan:
         # survives pickling (the lazy map is rebuilt on demand)
         clone = pickle.loads(pickle.dumps(schedule))
         assert clone.crashes[0].delayed_delivery(2) == 4
+
+
+class TestRecordEquivalencePerAlgorithm:
+    """Acceptance: every registered algorithm's sweep records are
+    byte-identical across the view kernel (both trace modes) and the
+    preserved reference pipeline, over seeded random schedules."""
+
+    @staticmethod
+    def _reference_record(name, workload, schedule, proposals):
+        from repro.analysis.metrics import check_agreement, check_validity
+        from repro.analysis.sweep import SweepRecord
+
+        factory = get_factory(name)
+        trace = execute_reference(
+            make_automata(factory, schedule.n, schedule.t, proposals),
+            schedule,
+        )
+        first_bad = 0
+        for k in range(1, schedule.horizon + 1):
+            if not schedule.is_synchronous_round(k):
+                first_bad = k
+        return SweepRecord(
+            algorithm=name,
+            workload=workload,
+            n=schedule.n,
+            t=schedule.t,
+            crashes=len(schedule.crashes),
+            sync_from=first_bad + 1,
+            global_round=trace.global_decision_round(),
+            first_round=trace.first_decision_round(),
+            deciders=len(trace.decisions),
+            agreement_ok=not check_agreement(trace),
+            validity_ok=not check_validity(trace),
+            messages=trace.message_count(),
+            horizon=schedule.horizon,
+            correct_undecided=sum(
+                1 for pid in schedule.correct if pid not in trace.decisions
+            ),
+        )
+
+    @pytest.mark.parametrize("name", sorted(available_algorithms()))
+    def test_lean_and_full_records_match_reference_pipeline(self, name):
+        from repro.analysis.sweep import run_case
+
+        n, t = _system_for(name)
+        factory = get_factory(name)
+        for generator in _generators_for(name):
+            for seed in range(8):
+                schedule = generator(n, t, seed)
+                proposals = random_proposals(n, seed)
+                expected = self._reference_record(
+                    name, generator.__name__, schedule, proposals
+                )
+                for mode in ("full", "lean"):
+                    record, _trace = run_case(
+                        name, factory, generator.__name__, schedule,
+                        proposals, trace_mode=mode,
+                    )
+                    assert record == expected, (
+                        f"{name} {mode} record diverged on "
+                        f"{generator.__name__}(seed={seed})"
+                    )

@@ -69,3 +69,13 @@ class TestReplay:
         trace = run_algorithm(ATt2.factory(), schedule, [3, 1, 4, 1, 5])
         with pytest.raises(SimulationError, match="diverged"):
             replay(trace, HurfinRaynalES)
+
+
+class TestLeanTraceRejected:
+    def test_replay_refuses_lean_traces(self):
+        trace = run_algorithm(
+            ATt2, Schedule.failure_free(5, 2, 8), [3, 1, 4, 1, 5],
+            trace="lean",
+        )
+        with pytest.raises(SimulationError, match="requires a full trace"):
+            replay(trace, ATt2)

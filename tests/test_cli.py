@@ -528,3 +528,41 @@ class TestCacheGcCommand:
         ResultCache(tmp_path / "cache")
         assert main(["cache", "stats", str(tmp_path / "cache")]) == 0
         assert "last gc: never" in capsys.readouterr().out
+
+
+class TestRunTraceMode:
+    def test_lean_run_works_without_diagram(self, capsys):
+        code = main([
+            "run", "--algorithm", "att2", "--n", "5", "--t", "2",
+            "--workload", "cascade", "--trace", "lean",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "global decision round: 4" in out
+        assert "consensus properties: ok" in out
+
+    def test_diagram_with_lean_trace_exits_cleanly(self):
+        # Full-trace-only consumers must say what to do, not crash deep
+        # inside the renderer (the lean-trace consumers follow-up).
+        with pytest.raises(SystemExit, match="requires --trace full"):
+            main([
+                "run", "--algorithm", "att2", "--n", "5", "--t", "2",
+                "--workload", "cascade", "--trace", "lean", "--diagram",
+            ])
+
+    def test_lean_and_full_report_identical_decisions(self, capsys):
+        main([
+            "run", "--algorithm", "att2", "--n", "5", "--t", "2",
+            "--workload", "cascade", "--trace", "full",
+        ])
+        full_out = capsys.readouterr().out
+        main([
+            "run", "--algorithm", "att2", "--n", "5", "--t", "2",
+            "--workload", "cascade", "--trace", "lean",
+        ])
+        lean_out = capsys.readouterr().out
+        pick = lambda out: [
+            line for line in out.splitlines()
+            if "global decision round" in line or "decisions:" in line
+        ]
+        assert pick(full_out) == pick(lean_out)
