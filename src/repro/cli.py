@@ -12,6 +12,11 @@ Commands:
   on the batch engine (:mod:`repro.engine`), on a selectable execution
   backend and kernel trace mode, optionally as one shard of a
   distributed run.
+* ``orchestrate`` — drive a whole distributed sweep: plan shards,
+  launch them on a worker inventory (``--local N`` subprocesses or a
+  ``--workers-file hosts.toml`` of local/SSH machines), retry and
+  reassign failed shards with backoff, and merge incrementally into
+  one export.
 * ``merge`` — recombine per-shard ``--json`` exports into the
   whole-grid result.
 * ``grid validate`` — lint grid JSON files (or directories of them)
@@ -36,6 +41,9 @@ Examples::
     python -m repro sweep --grid experiments/ --json all.json
     python -m repro sweep --profile large --trace lean
     python -m repro sweep --profile xlarge --trace lean
+    python -m repro orchestrate --grid grid.json --local 4 --json all.json
+    python -m repro orchestrate --profile large --workers-file hosts.toml \
+        --cache .sweep-cache --warm-cache --json large.json
     python -m repro merge shard0.json shard1.json --json whole.json
     python -m repro grid validate experiments/
     python -m repro cache stats .sweep-cache
@@ -507,6 +515,164 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _grid_pass_through_args(args) -> tuple[str, ...]:
+    """The grid-selecting CLI prefix every orchestrated worker re-runs.
+
+    Workers re-expand the grid themselves (``repro sweep --grid ...
+    --shard I/N``), so the orchestrator forwards the *selection* — a
+    grid file/directory path or a profile name (plus ``--seed``) —
+    verbatim; byte-identity of the merged export rests on every worker
+    agreeing on the expansion, which the engine's determinism contract
+    guarantees for identical selections.
+    """
+    if bool(args.grid) == bool(args.profile):
+        raise SystemExit(
+            "orchestrate needs exactly one of --grid or --profile"
+        )
+    if args.grid:
+        if args.seed is not None:
+            raise SystemExit(
+                "--grid and --seed are mutually exclusive: the grid "
+                "file already defines the experiment"
+            )
+        return ("--grid", args.grid)
+    prefix: tuple[str, ...] = ("--profile", args.profile)
+    if args.seed is not None:
+        prefix += ("--seed", str(args.seed))
+    return prefix
+
+
+def _orchestrate_workers(args):
+    """The validated worker inventory (``--local N`` or ``--workers-file``)."""
+    from repro.engine.orchestrator import (
+        OrchestratorError,
+        load_workers_file,
+        local_workers,
+    )
+
+    if bool(args.workers_file) == bool(args.local):
+        raise SystemExit(
+            "orchestrate needs exactly one of --workers-file or --local N"
+        )
+    try:
+        if args.local:
+            return local_workers(args.local)
+        return load_workers_file(args.workers_file)
+    except OrchestratorError as exc:
+        raise SystemExit(str(exc))
+
+
+def _cmd_orchestrate(args) -> int:
+    import shutil
+    import tempfile
+
+    from repro.engine import AlgorithmSummary
+    from repro.engine.orchestrator import (
+        OrchestratorError,
+        build_backend,
+        orchestrate,
+    )
+
+    grid_args = _grid_pass_through_args(args)
+    workers = _orchestrate_workers(args)
+    if args.grid and not os.path.exists(args.grid) and not any(
+        worker.is_remote for worker in workers
+    ):
+        raise SystemExit(f"cannot read --grid {args.grid!r}: not found")
+    shards = args.shards if args.shards is not None else 2 * len(workers)
+    if shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {shards}")
+    if args.retries < 0:
+        raise SystemExit(f"--retries must be >= 0, got {args.retries}")
+    if args.timeout is not None and args.timeout < 0:
+        raise SystemExit(f"--timeout must be >= 0, got {args.timeout}")
+    if args.backoff < 0:
+        raise SystemExit(f"--backoff must be >= 0, got {args.backoff}")
+    if args.warm_cache and not args.cache:
+        raise SystemExit("--warm-cache needs --cache DIR to warm from")
+    chaos = frozenset()
+    if args.chaos_kill is not None:
+        if not 0 <= args.chaos_kill < shards:
+            raise SystemExit(
+                f"--chaos-kill shard must be in 0..{shards - 1}, "
+                f"got {args.chaos_kill}"
+            )
+        chaos = frozenset({args.chaos_kill})
+    if args.json:
+        _ensure_writable(args.json)
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-orchestrate-")
+    backend = build_backend(
+        workers,
+        grid_args=grid_args,
+        workdir=workdir,
+        cache=args.cache,
+        trace=args.trace,
+        worker_backend=args.worker_backend,
+        chaos_kill=chaos,
+    )
+
+    def show(event) -> None:
+        print(f"orchestrate {event.describe()}", flush=True)
+
+    print(
+        f"orchestrate: {shards} shards of "
+        f"{' '.join(grid_args)} over {len(workers)} workers "
+        f"({', '.join(worker.describe() for worker in workers)}), "
+        f"retries={args.retries}, timeout={args.timeout or 'none'}"
+    )
+    try:
+        report = orchestrate(
+            workers,
+            backend,
+            shards,
+            retries=args.retries,
+            timeout=args.timeout or None,
+            backoff=args.backoff,
+            heartbeat=args.heartbeat or None,
+            warm=args.warm_cache,
+            on_event=show,
+        )
+    except OrchestratorError as exc:
+        raise SystemExit(str(exc))
+
+    print()
+    print(report.describe())
+    result = report.result
+    if result.case_count:
+        print()
+        print(format_table(
+            list(AlgorithmSummary.ROW_HEADERS),
+            [summary.row() for summary in result.summaries()],
+            title=f"Orchestrated sweep ({len(report.completed)}/"
+                  f"{report.shard_count} shards)",
+        ))
+    if not report.complete:
+        # Keep the per-attempt shard exports around for post-mortems,
+        # and never write a partial result where a complete export is
+        # expected — the .partial suffix makes the difference explicit.
+        if args.json:
+            partial = f"{args.json}.partial"
+            result.save(partial)
+            print(f"\nwrote PARTIAL result ({result.case_count} cases) "
+                  f"to {partial}")
+        print(f"shard attempt files kept in {workdir}")
+        return 1
+    if args.json:
+        result.save(args.json)
+        print(f"\nwrote {result.case_count} records to {args.json}")
+    if not args.workdir:
+        shutil.rmtree(workdir, ignore_errors=True)
+    violations = result.violations()
+    if violations:
+        print(f"\nSAFETY VIOLATIONS in {len(violations)} cases:")
+        for record in violations:
+            print(f"  - {record.algorithm} on {record.workload}")
+        return 1
+    print("\nsafety (agreement + validity): ok on every case")
+    return 0
+
+
 def _cmd_merge(args) -> int:
     """Recombine per-shard ``--json`` exports into the whole-grid result."""
     from repro.engine import BatchResult
@@ -769,6 +935,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass --cache (run every case) without editing scripts",
     )
 
+    orch_parser = sub.add_parser(
+        "orchestrate",
+        help="drive a whole distributed sweep: shards on workers, with "
+             "retry/reassign and incremental merge",
+    )
+    orch_parser.add_argument(
+        "--grid", default="",
+        help="grid JSON file or directory to sweep (forwarded to every "
+             "worker; remote workers resolve it against their checkout)",
+    )
+    orch_parser.add_argument(
+        "--profile", default="",
+        help="stock multi-grid preset to sweep instead of --grid "
+             "(large, xlarge)",
+    )
+    orch_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="reseed a --profile's random families (invalid with --grid)",
+    )
+    orch_parser.add_argument(
+        "--workers-file", default="",
+        help="TOML worker inventory (hosts.toml: [[workers]] tables "
+             "with name/host/python/repo; see docs/engine.md)",
+    )
+    orch_parser.add_argument(
+        "--local", type=int, default=0, metavar="N",
+        help="use N local subprocess workers instead of a workers file",
+    )
+    orch_parser.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count to plan (default: 2x the worker count, so "
+             "reassignment always has slack)",
+    )
+    orch_parser.add_argument(
+        "--retries", type=int, default=2,
+        help="retries per shard after its first failure (default 2)",
+    )
+    orch_parser.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="per-attempt timeout (default 600; 0 disables)",
+    )
+    orch_parser.add_argument(
+        "--backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base retry backoff, doubled per attempt (default 0.5)",
+    )
+    orch_parser.add_argument(
+        "--heartbeat", type=float, default=15.0, metavar="SECONDS",
+        help="liveness-probe interval for in-flight workers "
+             "(default 15; 0 disables)",
+    )
+    orch_parser.add_argument(
+        "--trace", choices=("full", "lean"), default="lean",
+        help="kernel trace mode inside workers (default lean)",
+    )
+    orch_parser.add_argument(
+        "--worker-backend", choices=("serial", "processes", "threads"),
+        default="serial",
+        help="execution backend inside each worker process (default "
+             "serial: the orchestrator owns the parallelism)",
+    )
+    orch_parser.add_argument(
+        "--cache", default="",
+        help="shared result-cache directory forwarded to workers: a "
+             "retried shard warm-hits everything its predecessor finished",
+    )
+    orch_parser.add_argument(
+        "--warm-cache", action="store_true",
+        help="pre-start cache warm per worker (ships --cache to remote "
+             "workers; local workers share it already)",
+    )
+    orch_parser.add_argument(
+        "--workdir", default="",
+        help="directory for per-attempt shard exports (default: a "
+             "temp dir, removed on success, kept on partial failure)",
+    )
+    orch_parser.add_argument(
+        "--chaos-kill", type=int, default=None, metavar="SHARD",
+        help="fault-injection: SIGKILL this shard's first attempt "
+             "mid-run (CI exercises the retry path with this)",
+    )
+    orch_parser.add_argument(
+        "--json", default="",
+        help="write the merged result to this JSON file (byte-identical "
+             "to a serial whole-grid sweep; partial results get a "
+             ".partial suffix)",
+    )
+
     merge_parser = sub.add_parser(
         "merge",
         help="recombine per-shard sweep --json exports canonically",
@@ -835,6 +1088,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "experiments": _cmd_experiments,
         "sweep": _cmd_sweep,
+        "orchestrate": _cmd_orchestrate,
         "merge": _cmd_merge,
         "grid": _cmd_grid,
         "cache": _cmd_cache,

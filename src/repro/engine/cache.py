@@ -47,8 +47,14 @@ import hashlib
 import json
 import os
 import time
+from contextlib import contextmanager
 from dataclasses import asdict, replace
 from pathlib import Path
+
+try:  # POSIX advisory locking for the shared stats sidecar
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.algorithms.registry import (
     algorithm_source_hash,
@@ -66,6 +72,43 @@ STATS_FILE = "stats.json"
 
 #: Counters accumulated in the stats sidecar.
 _STAT_KEYS = ("hits", "misses", "deduped", "store_failures", "sweeps")
+
+
+@contextmanager
+def _stats_lock(root: "Path"):
+    """Serialize read-modify-write cycles on the stats sidecar.
+
+    Uses an ``flock`` on a dedicated ``stats.json.lock`` file (the lock
+    file lives at the cache root, outside the entry fan-out, so entry
+    globs never see it).  Concurrent shard processes flushing their
+    counters into one shared directory each merge under the lock, so no
+    delta is ever lost to an unlocked read-modify-write race.  Best
+    effort by design: on platforms without ``fcntl`` or when the lock
+    file cannot be created (read-only directory), callers proceed
+    unlocked — stats are advisory metadata and must never abort a sweep.
+    """
+    if fcntl is None:
+        yield False
+        return
+    fd = None
+    try:
+        fd = os.open(
+            root / f"{STATS_FILE}.lock", os.O_CREAT | os.O_RDWR, 0o644
+        )
+        fcntl.flock(fd, fcntl.LOCK_EX)
+    except OSError:
+        if fd is not None:
+            os.close(fd)
+        yield False
+        return
+    try:
+        yield True
+    finally:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        except OSError:
+            pass
+        os.close(fd)
 
 
 def _read_stats_file(path: "Path") -> dict:
@@ -178,9 +221,11 @@ def cache_gc(
     * ``max_age_days`` — entries whose mtime is older than this many
       days are removed unconditionally;
     * ``max_bytes`` — after the age pass, the oldest-mtime entries are
-      removed until the surviving total is at most this many bytes (an
-      entry's mtime is when it was (re)stored, which for a
-      content-addressed cache is the natural recency signal).
+      removed until the surviving total is at most this many bytes.
+      An entry's mtime is when it was last stored *or served*
+      (:meth:`ResultCache.lookup` touches entries on hit), so the size
+      bound really is LRU: hot entries of a shared cache outlive cold
+      ones.
 
     Eviction is always safe: every entry is recomputable, so a gc can at
     worst cost recomputation time, and entries that vanish mid-scan
@@ -252,9 +297,10 @@ def cache_gc(
         "remaining_bytes": sum(size for _mtime, size, _path in entries),
     }
     stats_path = root / STATS_FILE
-    totals = _read_stats_file(stats_path)
-    totals["last_gc"] = summary
-    _write_stats_file(stats_path, totals)
+    with _stats_lock(root):
+        totals = _read_stats_file(stats_path)
+        totals["last_gc"] = summary
+        _write_stats_file(stats_path, totals)
     return summary
 
 #: Key-scheme tag mixed into every key; bumped whenever key semantics change.
@@ -365,6 +411,13 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        # Touch the entry so mtime really is a recency signal: without
+        # this, :func:`cache_gc`'s "LRU" size bound orders by store time
+        # and evicts the *hottest* entries of a shared cache first.
+        try:
+            os.utime(self._entry_path(key))
+        except OSError:
+            pass  # read-only share / entry raced away — hit still counts
         return replace(record, workload=case.workload, case_index=case.index)
 
     def store(self, case: Case, record: SweepRecord, key=_MISSING) -> None:
@@ -425,20 +478,24 @@ class ResultCache:
         stats`` can report a hit rate for a long-lived directory.  A
         successful flush zeroes the session counters, so flushing after
         every sweep of a long-lived cache object never double-counts;
-        a failed flush keeps them for the next attempt.  Writes are
-        atomic but last-writer-wins under concurrency — the file is
-        advisory metadata, never consulted for lookups, so a lost update
-        costs only bookkeeping accuracy.  Failures are swallowed like
-        entry-store failures: stats must never abort a sweep.
+        a failed flush keeps them for the next attempt.  The
+        read-merge-write cycle runs under an ``flock`` on a sidecar lock
+        file (see :func:`_stats_lock`), so parallel shards flushing into
+        one shared directory each add their delta instead of overwriting
+        each other's; the write itself stays atomic (``os.replace``).
+        Failures are swallowed like entry-store failures: stats must
+        never abort a sweep.
         """
         path = self.directory / STATS_FILE
-        totals = _read_stats_file(path)
-        totals["hits"] += self.hits
-        totals["misses"] += self.misses
-        totals["deduped"] += self.deduped
-        totals["store_failures"] += self.store_failures
-        totals["sweeps"] += 1
-        if _write_stats_file(path, totals):
+        with _stats_lock(self.directory):
+            totals = _read_stats_file(path)
+            totals["hits"] += self.hits
+            totals["misses"] += self.misses
+            totals["deduped"] += self.deduped
+            totals["store_failures"] += self.store_failures
+            totals["sweeps"] += 1
+            flushed = _write_stats_file(path, totals)
+        if flushed:
             self.hits = self.misses = self.deduped = 0
             self.store_failures = 0
         else:

@@ -13,8 +13,8 @@ Three backends ship with the engine:
   reference implementation every other backend must match byte-for-byte.
 * :class:`ProcessExecutor` — a ``multiprocessing`` pool.  Cases cross a
   pipe, so they must be picklable; cases carrying an explicit in-process
-  ``factory`` (the legacy :mod:`repro.analysis.sweep` path) force a
-  transparent fallback to serial execution.
+  ``factory`` (the legacy :mod:`repro.analysis.sweep` path) are split
+  off and executed inline while everything else still runs on the pool.
 * :class:`ThreadExecutor` — a ``concurrent.futures.ThreadPoolExecutor``.
   Threads share the interpreter, so explicit factories are fine; the GIL
   bounds speedup for the pure-Python kernel, but the backend is the right
@@ -119,10 +119,17 @@ class SerialExecutor:
 class ProcessExecutor:
     """A ``multiprocessing`` pool backend.
 
-    ``workers=None`` auto-sizes to the machine.  Falls back to serial
-    execution — transparently, preserving output — when the pool cannot
-    help: a single worker, fewer than two cases, or any case carrying an
-    explicit in-process factory (unpicklable in general).
+    ``workers=None`` auto-sizes to the machine.  Cases carrying an
+    explicit in-process factory (unpicklable in general) are partitioned
+    out and executed inline, so one legacy case no longer forces the
+    whole batch onto the serial path; the pool runs everything else.
+    Falls back to serial entirely when the pool cannot help: a single
+    worker or fewer than two poolable cases.
+
+    Pool results are drained *inside* the pool context and forwarded
+    afterwards, so the pool is torn down deterministically even when the
+    consumer abandons the iterator mid-stream (an exception while
+    merging records must not leave worker processes alive until GC).
     """
 
     workers: int | None = None
@@ -133,16 +140,22 @@ class ProcessExecutor:
     ) -> Iterator[tuple[int, SweepRecord]]:
         cases = list(cases)
         workers = resolve_workers(self.workers, len(cases))
-        serial_only = any(case.factory is not None for case in cases)
-        if workers <= 1 or serial_only or len(cases) < 2:
+        inline = [case for case in cases if case.factory is not None]
+        poolable = [case for case in cases if case.factory is None]
+        if workers <= 1 or len(poolable) < 2:
             yield from SerialExecutor().map_cases(cases)
             return
         context = _pool_context()
-        chunksize = max(1, len(cases) // (workers * 4))
-        with context.Pool(processes=workers) as pool:
-            yield from pool.imap_unordered(
-                execute_case, cases, chunksize=chunksize
+        chunksize = max(1, len(poolable) // (workers * 4))
+        with context.Pool(processes=min(workers, len(poolable))) as pool:
+            drained = list(
+                pool.imap_unordered(
+                    execute_case, poolable, chunksize=chunksize
+                )
             )
+        pool.join()
+        yield from drained
+        yield from SerialExecutor().map_cases(inline)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,60 @@
+"""Distributed sweep orchestration: one driver owning the whole lifecycle.
+
+The orchestrator crosses the machine boundary the engine was built for:
+instead of a human running ``repro sweep --shard I/N`` per box, one
+process plans the shards, launches them on a worker inventory (local
+subprocesses and/or SSH hosts behind the same
+:class:`~repro.engine.orchestrator.backends.WorkerBackend` interface),
+streams per-shard exports back as they complete, merges them
+incrementally, and handles the unglamorous parts — per-attempt
+timeouts, exponential-backoff retries, reassignment away from dead
+workers, heartbeat liveness, and a per-shard partial-failure report
+when a shard is truly unrunnable.
+
+CLI: ``repro orchestrate --grid DIR --workers-file hosts.toml`` (or
+``--local N`` for same-machine fan-out).  See
+:mod:`repro.engine.orchestrator.driver` for the robustness model and
+``docs/engine.md`` for the operational guide.
+"""
+
+from repro.engine.orchestrator.backends import (
+    LocalWorkerBackend,
+    SSHWorkerBackend,
+    ShardFailure,
+    WorkerBackend,
+    build_backend,
+    sweep_argv,
+)
+from repro.engine.orchestrator.driver import (
+    OrchestrationReport,
+    OrchestratorEvent,
+    ShardOutcome,
+    orchestrate,
+    orchestrate_async,
+)
+from repro.engine.orchestrator.workers import (
+    OrchestratorError,
+    WorkerSpec,
+    load_workers_file,
+    local_workers,
+    workers_from_data,
+)
+
+__all__ = [
+    "LocalWorkerBackend",
+    "OrchestrationReport",
+    "OrchestratorError",
+    "OrchestratorEvent",
+    "SSHWorkerBackend",
+    "ShardFailure",
+    "ShardOutcome",
+    "WorkerBackend",
+    "WorkerSpec",
+    "build_backend",
+    "load_workers_file",
+    "local_workers",
+    "orchestrate",
+    "orchestrate_async",
+    "sweep_argv",
+    "workers_from_data",
+]

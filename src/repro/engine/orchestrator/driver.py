@@ -1,0 +1,404 @@
+"""The asyncio driver that owns a distributed sweep's lifecycle.
+
+:func:`orchestrate` (sync wrapper over :func:`orchestrate_async`) plans
+``shard_count`` round-robin shards of a grid, launches them on a worker
+inventory through a :class:`~repro.engine.orchestrator.backends.WorkerBackend`,
+and folds each shard's export into the running
+:class:`~repro.engine.results.BatchResult` **as it completes** via
+:meth:`BatchResult.merge` — the merged result exists incrementally, not
+only at the end, and the merge itself enforces that no shard is ever
+double-counted (overlapping case indices raise).
+
+Robustness model:
+
+* **Per-attempt timeout** — an attempt that exceeds ``timeout`` seconds
+  is cancelled (the backend kills its subprocess) and counts as a
+  failure.
+* **Retry with exponential backoff** — a failed shard is requeued after
+  ``backoff * 2**(attempt-1)`` seconds, up to ``retries`` retries
+  (``retries + 1`` total attempts).
+* **Reassignment** — a retried shard remembers which workers already
+  failed it and prefers a fresh worker while one exists; once every
+  worker has failed a shard, anyone may try again.
+* **Heartbeat liveness** — a monitor probes every worker with an
+  in-flight attempt each ``heartbeat`` seconds (``WorkerBackend.probe``;
+  SSH workers answer a trivial remote command).  A dead probe cancels
+  the attempt immediately — minutes before a long timeout would — and
+  the shard is reassigned.
+* **Partial-failure report** — shards that exhaust their attempts are
+  reported per shard (worker history and last error) in the
+  :class:`OrchestrationReport`; everything that did complete is still
+  merged and usable.
+
+Correctness rests on the engine's determinism contract: a re-executed
+shard produces byte-identical records (idempotence), so retries and
+reassignment can never corrupt the merged output — and a shared result
+cache makes them cheap, because a successor warm-hits every case its
+dead predecessor already finished.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.engine.grids import ShardSpec
+from repro.engine.orchestrator.backends import ShardFailure, WorkerBackend
+from repro.engine.orchestrator.workers import OrchestratorError, WorkerSpec
+from repro.engine.results import BatchResult
+
+#: Event kinds emitted to ``on_event`` (CLI progress, test assertions).
+EVENT_KINDS = (
+    "warm", "launch", "complete", "retry", "fail",
+    "heartbeat", "worker-dead",
+)
+
+
+@dataclass(frozen=True)
+class OrchestratorEvent:
+    """One observable step of an orchestration, for progress streams."""
+
+    kind: str
+    detail: str
+    shard: int | None = None
+    worker: str | None = None
+    attempt: int | None = None
+
+    def describe(self) -> str:
+        where = ""
+        if self.shard is not None:
+            where = f"shard {self.shard}"
+            if self.attempt is not None:
+                where += f" attempt {self.attempt}"
+            if self.worker:
+                where += f" on {self.worker}"
+            where += ": "
+        elif self.worker:
+            where = f"{self.worker}: "
+        return f"[{self.kind}] {where}{self.detail}"
+
+
+OnEvent = Callable[[OrchestratorEvent], None]
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """Terminal fate of one shard: completed or failed, after how much."""
+
+    shard: int
+    status: str  # "completed" | "failed"
+    worker: str  # the worker of the final attempt
+    attempts: int
+    cases: int = 0
+    error: str = ""
+    workers_tried: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class OrchestrationReport:
+    """Everything an orchestration produced, including what it couldn't.
+
+    ``result`` holds the merged records of every *completed* shard; when
+    ``complete`` is false, it is a usable partial result and ``failed``
+    lists exactly which shards are missing, with their attempt history —
+    re-running just those shards (``repro sweep --shard I/N``) and
+    merging is always a valid recovery, because shard execution is
+    idempotent.
+    """
+
+    result: BatchResult
+    outcomes: tuple[ShardOutcome, ...]
+    shard_count: int
+
+    @property
+    def completed(self) -> tuple[ShardOutcome, ...]:
+        return tuple(o for o in self.outcomes if o.status == "completed")
+
+    @property
+    def failed(self) -> tuple[ShardOutcome, ...]:
+        return tuple(o for o in self.outcomes if o.status == "failed")
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(outcome.attempts for outcome in self.outcomes)
+
+    def describe(self) -> str:
+        lines = [
+            f"orchestrate: {len(self.completed)}/{self.shard_count} shards "
+            f"completed ({self.result.case_count} cases, "
+            f"{self.total_attempts} attempts)"
+        ]
+        for outcome in self.failed:
+            tried = ", ".join(outcome.workers_tried) or outcome.worker
+            lines.append(
+                f"  shard {outcome.shard}/{self.shard_count}: FAILED after "
+                f"{outcome.attempts} attempts (workers: {tried}) — "
+                f"{outcome.error}"
+            )
+        if self.failed:
+            lines.append(
+                "  recovery: re-run the failed shards with "
+                "`repro sweep --shard I/N --json ...` and fold them in "
+                "with `repro merge` — shard execution is idempotent."
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _Attempt:
+    """One queued execution attempt of one shard."""
+
+    shard: ShardSpec
+    attempt: int  # 1-based
+    excluded: frozenset[str] = frozenset()
+    tried: tuple[str, ...] = ()
+
+
+def orchestrate(
+    workers: list[WorkerSpec],
+    backend: WorkerBackend,
+    shard_count: int,
+    *,
+    retries: int = 2,
+    timeout: float | None = 600.0,
+    backoff: float = 0.5,
+    heartbeat: float | None = 5.0,
+    warm: bool = False,
+    on_event: OnEvent | None = None,
+) -> OrchestrationReport:
+    """Run a whole distributed sweep; the synchronous entry point."""
+    return asyncio.run(
+        orchestrate_async(
+            workers,
+            backend,
+            shard_count,
+            retries=retries,
+            timeout=timeout,
+            backoff=backoff,
+            heartbeat=heartbeat,
+            warm=warm,
+            on_event=on_event,
+        )
+    )
+
+
+async def orchestrate_async(
+    workers: list[WorkerSpec],
+    backend: WorkerBackend,
+    shard_count: int,
+    *,
+    retries: int = 2,
+    timeout: float | None = 600.0,
+    backoff: float = 0.5,
+    heartbeat: float | None = 5.0,
+    warm: bool = False,
+    on_event: OnEvent | None = None,
+) -> OrchestrationReport:
+    """See :func:`orchestrate`; this is the event-loop-native form."""
+    if not workers:
+        raise OrchestratorError("orchestrate needs at least one worker")
+    if shard_count < 1:
+        raise OrchestratorError(
+            f"shard count must be >= 1, got {shard_count}"
+        )
+    if retries < 0:
+        raise OrchestratorError(f"retries must be >= 0, got {retries}")
+    names = [worker.name for worker in workers]
+    if len(names) != len(set(names)):
+        raise OrchestratorError(f"duplicate worker names in {names}")
+
+    def emit(kind: str, detail: str, **where) -> None:
+        if on_event is not None:
+            on_event(OrchestratorEvent(kind=kind, detail=detail, **where))
+
+    max_attempts = retries + 1
+    queue: asyncio.Queue = asyncio.Queue()
+    for index in range(shard_count):
+        queue.put_nowait(_Attempt(ShardSpec(index, shard_count), 1))
+
+    merged = BatchResult(records=())
+    outcomes: dict[int, ShardOutcome] = {}
+    remaining = shard_count
+    inflight: dict[str, asyncio.Future] = {}
+    heartbeat_killed: set[asyncio.Future] = set()
+    retry_tasks: set[asyncio.Task] = set()
+
+    def terminal() -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0:
+            queue.put_nowait(None)  # sentinel; worker loops cascade it
+
+    async def requeue_later(attempt: _Attempt, delay: float) -> None:
+        await asyncio.sleep(delay)
+        queue.put_nowait(attempt)
+
+    def handle_failure(
+        task: _Attempt, worker: WorkerSpec, reason: str
+    ) -> None:
+        index = task.shard.index
+        tried = task.tried + (worker.name,)
+        if task.attempt >= max_attempts:
+            emit("fail", f"giving up after {task.attempt} attempts: "
+                         f"{reason}",
+                 shard=index, worker=worker.name, attempt=task.attempt)
+            outcomes[index] = ShardOutcome(
+                shard=index,
+                status="failed",
+                worker=worker.name,
+                attempts=task.attempt,
+                error=reason,
+                workers_tried=tried,
+            )
+            terminal()
+            return
+        excluded = task.excluded | {worker.name}
+        if all(name in excluded for name in names):
+            # every worker has failed this shard once — let anyone retry
+            excluded = frozenset()
+        delay = backoff * (2 ** (task.attempt - 1))
+        emit("retry", f"{reason}; retrying in {delay:g}s "
+                      f"(attempt {task.attempt + 1}/{max_attempts})",
+             shard=index, worker=worker.name, attempt=task.attempt)
+        retry = _Attempt(
+            shard=task.shard,
+            attempt=task.attempt + 1,
+            excluded=excluded,
+            tried=tried,
+        )
+        handle = asyncio.get_running_loop().create_task(
+            requeue_later(retry, delay)
+        )
+        retry_tasks.add(handle)
+        handle.add_done_callback(retry_tasks.discard)
+
+    def accept(
+        task: _Attempt, worker: WorkerSpec, result: BatchResult
+    ) -> None:
+        nonlocal merged
+        index = task.shard.index
+        try:
+            # Incremental merge: the running result grows as shards
+            # land, and merge's overlap check guarantees no shard can
+            # ever be folded in twice.
+            merged = BatchResult.merge([merged, result])
+        except ValueError as exc:
+            handle_failure(
+                task, worker, f"merge rejected shard export: {exc}"
+            )
+            return
+        emit("complete", f"{result.case_count} cases merged "
+                         f"({merged.case_count} total)",
+             shard=index, worker=worker.name, attempt=task.attempt)
+        outcomes[index] = ShardOutcome(
+            shard=index,
+            status="completed",
+            worker=worker.name,
+            attempts=task.attempt,
+            cases=result.case_count,
+            workers_tried=task.tried + (worker.name,),
+        )
+        terminal()
+
+    async def worker_loop(worker: WorkerSpec) -> None:
+        while True:
+            task = await queue.get()
+            if task is None:
+                queue.put_nowait(None)
+                return
+            if task.excluded and worker.name in task.excluded:
+                # this worker already failed the shard; hand it back and
+                # let a fresh worker pick it up
+                queue.put_nowait(task)
+                await asyncio.sleep(0.05)
+                continue
+            emit("launch", "started",
+                 shard=task.shard.index, worker=worker.name,
+                 attempt=task.attempt)
+            attempt_future = asyncio.ensure_future(
+                backend.run_shard(worker, task.shard, task.attempt)
+            )
+            inflight[worker.name] = attempt_future
+            try:
+                result = await asyncio.wait_for(attempt_future, timeout)
+            except asyncio.TimeoutError:
+                handle_failure(
+                    task, worker, f"timed out after {timeout:g}s"
+                )
+            except asyncio.CancelledError:
+                if attempt_future in heartbeat_killed:
+                    heartbeat_killed.discard(attempt_future)
+                    handle_failure(task, worker, "worker heartbeat lost")
+                else:  # the orchestration itself is being torn down
+                    raise
+            except ShardFailure as exc:
+                handle_failure(task, worker, str(exc))
+            except Exception as exc:  # backend defect: bounded like any failure
+                handle_failure(
+                    task, worker, f"{type(exc).__name__}: {exc}"
+                )
+            finally:
+                inflight.pop(worker.name, None)
+            if attempt_future.done() and not attempt_future.cancelled() \
+                    and attempt_future.exception() is None:
+                accept(task, worker, attempt_future.result())
+
+    async def heartbeat_loop() -> None:
+        by_name = {worker.name: worker for worker in workers}
+        while True:
+            await asyncio.sleep(heartbeat)
+            emit("heartbeat",
+                 f"{shard_count - remaining}/{shard_count} shards done, "
+                 f"{len(inflight)} in flight")
+            for name, future in list(inflight.items()):
+                if future.done():
+                    continue
+                try:
+                    alive = await backend.probe(by_name[name])
+                except Exception:
+                    alive = False
+                if not alive and not future.done():
+                    emit("worker-dead",
+                         "heartbeat probe failed; cancelling attempt",
+                         worker=name)
+                    heartbeat_killed.add(future)
+                    future.cancel()
+
+    if warm:
+        for worker in workers:
+            try:
+                await backend.warm(worker)
+                emit("warm", "cache warmed", worker=worker.name)
+            except Exception as exc:  # warm is best-effort by contract
+                emit("warm", f"cache warm failed (continuing): {exc}",
+                     worker=worker.name)
+
+    loops = [
+        asyncio.get_running_loop().create_task(worker_loop(worker))
+        for worker in workers
+    ]
+    monitor = (
+        asyncio.get_running_loop().create_task(heartbeat_loop())
+        if heartbeat
+        else None
+    )
+    try:
+        await asyncio.gather(*loops)
+    finally:
+        if monitor is not None:
+            monitor.cancel()
+        for handle in retry_tasks:
+            handle.cancel()
+
+    return OrchestrationReport(
+        result=merged,
+        outcomes=tuple(
+            outcomes[index] for index in sorted(outcomes)
+        ),
+        shard_count=shard_count,
+    )

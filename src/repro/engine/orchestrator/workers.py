@@ -1,0 +1,243 @@
+"""Worker inventory for the distributed sweep orchestrator.
+
+A :class:`WorkerSpec` names one machine slot the orchestrator may launch
+shards on: either a **local** subprocess worker (``host`` empty) or a
+**remote** SSH worker (``host`` set, with the repository checkout path
+that shard commands should run from).  Workers are plain frozen data —
+the execution mechanics live in :mod:`repro.engine.orchestrator.backends`.
+
+Inventories come from a **workers file** (conventionally ``hosts.toml``):
+
+.. code-block:: toml
+
+    # Optional defaults applied to every worker that omits the key.
+    [defaults]
+    python = "python3"
+    repo = "/srv/repro"
+
+    [[workers]]
+    name = "local-a"          # optional; defaults to host or local-<i>
+
+    [[workers]]
+    name = "big-box"
+    host = "node1.example.com"
+    python = "python3.12"
+    repo = "/home/sweeps/repro"
+
+Parsing uses :mod:`tomllib` where the interpreter ships it (3.11+); on
+older interpreters a built-in fallback parser reads exactly the subset
+above (``[defaults]``, repeated ``[[workers]]`` tables, ``key = "value"``
+string pairs, comments and blank lines) so a cluster can mix Python
+versions without anyone installing a TOML package.  Validation is strict
+either way — unknown keys, duplicate names and non-string values all
+raise :class:`OrchestratorError`, because a typo in a hosts file must
+never silently drop a machine from the sweep.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+
+try:  # stdlib since 3.11; the fallback parser covers 3.10
+    import tomllib
+except ImportError:  # pragma: no cover - exercised via monkeypatch
+    tomllib = None  # type: ignore[assignment]
+
+#: Keys a worker table may carry (everything optional but ``name``/
+#: ``host`` — a table may even be empty, yielding an anonymous local
+#: worker).
+_WORKER_KEYS = ("name", "host", "python", "repo")
+
+#: Keys the ``[defaults]`` table may carry (no per-machine identity).
+_DEFAULT_KEYS = ("python", "repo")
+
+
+class OrchestratorError(ReproError):
+    """An unusable orchestrator configuration or a failed orchestration."""
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """One machine slot the orchestrator can launch shards on.
+
+    Attributes:
+        name: unique label used in events, reports and reassignment
+            bookkeeping.
+        host: SSH destination (``user@host`` accepted); empty for a
+            local subprocess worker.
+        python: interpreter to invoke on the worker (local workers
+            default to ``sys.executable`` at launch time).
+        repo: repository checkout to run from — required for remote
+            workers (the shard command ``cd``s there), ignored for
+            local ones, which inherit the orchestrator's environment.
+    """
+
+    name: str
+    host: str = ""
+    python: str = ""
+    repo: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise OrchestratorError("worker needs a non-empty name")
+        if self.host and not self.repo:
+            raise OrchestratorError(
+                f"remote worker {self.name!r} needs repo= (the checkout "
+                f"path to run shards from)"
+            )
+
+    @property
+    def is_remote(self) -> bool:
+        return bool(self.host)
+
+    def describe(self) -> str:
+        return f"{self.name} ({'ssh ' + self.host if self.host else 'local'})"
+
+
+def local_workers(count: int) -> list[WorkerSpec]:
+    """*count* anonymous local subprocess workers (``--local N``)."""
+    if count < 1:
+        raise OrchestratorError(f"need at least one worker, got {count}")
+    return [WorkerSpec(name=f"local-{i}") for i in range(count)]
+
+
+def workers_from_data(data: Mapping) -> list[WorkerSpec]:
+    """Validated workers from parsed hosts-file data (strict; see module)."""
+    if not isinstance(data, Mapping):
+        raise OrchestratorError(
+            f"workers file must be a table, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - {"workers", "defaults"})
+    if unknown:
+        raise OrchestratorError(
+            f"unknown workers-file keys {unknown}; known: defaults, workers"
+        )
+    defaults = data.get("defaults", {})
+    if not isinstance(defaults, Mapping):
+        raise OrchestratorError("[defaults] must be a table")
+    bad = sorted(set(defaults) - set(_DEFAULT_KEYS))
+    if bad:
+        raise OrchestratorError(
+            f"unknown [defaults] keys {bad}; known: "
+            + ", ".join(_DEFAULT_KEYS)
+        )
+    entries = data.get("workers")
+    if not isinstance(entries, Sequence) or isinstance(entries, (str, bytes)):
+        raise OrchestratorError(
+            "workers file needs at least one [[workers]] table"
+        )
+    workers: list[WorkerSpec] = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, Mapping):
+            raise OrchestratorError(f"[[workers]] entry {i} is not a table")
+        bad = sorted(set(entry) - set(_WORKER_KEYS))
+        if bad:
+            raise OrchestratorError(
+                f"worker entry {i}: unknown keys {bad}; known: "
+                + ", ".join(_WORKER_KEYS)
+            )
+        merged = {**defaults, **entry}
+        for key, value in merged.items():
+            if not isinstance(value, str):
+                raise OrchestratorError(
+                    f"worker entry {i}: {key!r} must be a string, "
+                    f"got {value!r}"
+                )
+        host = merged.get("host", "")
+        name = merged.get("name") or host or f"local-{i}"
+        workers.append(
+            WorkerSpec(
+                name=name,
+                host=host,
+                python=merged.get("python", ""),
+                repo=merged.get("repo", ""),
+            )
+        )
+    if not workers:
+        raise OrchestratorError(
+            "workers file needs at least one [[workers]] table"
+        )
+    names = [worker.name for worker in workers]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise OrchestratorError(
+            f"duplicate worker names {duplicates}: names key reassignment "
+            f"bookkeeping and must be unique"
+        )
+    return workers
+
+
+def load_workers_file(path: str) -> list[WorkerSpec]:
+    """Parse and validate a hosts file (``OrchestratorError`` on bad data)."""
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise OrchestratorError(f"cannot read workers file {path!r}: {exc}")
+    if tomllib is not None:
+        try:
+            data = tomllib.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise OrchestratorError(
+                f"workers file {path!r} is not valid TOML: {exc}"
+            )
+    else:
+        data = _parse_minimal_toml(raw.decode("utf-8", errors="replace"))
+    return workers_from_data(data)
+
+
+# -- the 3.10 fallback parser ----------------------------------------------
+
+_SECTION_RE = re.compile(r"^\[\[\s*([A-Za-z0-9_-]+)\s*\]\]$")
+_TABLE_RE = re.compile(r"^\[\s*([A-Za-z0-9_-]+)\s*\]$")
+_PAIR_RE = re.compile(
+    r"""^([A-Za-z0-9_-]+)\s*=\s*"([^"]*)"\s*(?:#.*)?$"""
+)
+
+
+def _parse_minimal_toml(text: str) -> dict:
+    """The hosts-file TOML subset, for interpreters without :mod:`tomllib`.
+
+    Supports ``[defaults]``, repeated ``[[workers]]`` array tables and
+    double-quoted ``key = "value"`` string pairs; comments and blank
+    lines are skipped.  Anything else is a loud
+    :class:`OrchestratorError` naming the offending line — the fallback
+    must never *mis*read a file the real parser would accept.
+    """
+    data: dict = {}
+    current: dict | None = None
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        section = _SECTION_RE.match(line)
+        if section:
+            current = {}
+            data.setdefault(section.group(1), []).append(current)
+            continue
+        table = _TABLE_RE.match(line)
+        if table:
+            current = data.setdefault(table.group(1), {})
+            if not isinstance(current, dict):
+                raise OrchestratorError(
+                    f"workers file line {lineno}: table {table.group(1)!r} "
+                    f"conflicts with an earlier [[...]] array table"
+                )
+            continue
+        pair = _PAIR_RE.match(line)
+        if pair:
+            if current is None:
+                raise OrchestratorError(
+                    f"workers file line {lineno}: key outside any table"
+                )
+            current[pair.group(1)] = pair.group(2)
+            continue
+        raise OrchestratorError(
+            f"workers file line {lineno} is not in the supported subset "
+            f"(tables, [[workers]], key = \"value\"): {line!r}"
+        )
+    return data

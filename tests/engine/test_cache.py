@@ -347,6 +347,58 @@ class TestStats:
         cache.flush_stats()
         assert cache.entry_count() == 3
 
+    def test_concurrent_flushes_merge_instead_of_racing(
+        self, cache, monkeypatch
+    ):
+        # Regression: flush_stats used to do an unlocked read-modify-
+        # write of stats.json, so two shards flushing concurrently lost
+        # one delta.  The interleaving is forced deterministically: the
+        # first flusher pauses inside its read (under the lock), the
+        # second flushes meanwhile — it must block until the first is
+        # done and then merge on top of the first's totals.
+        import threading
+
+        from repro.engine import cache_stats
+        from repro.engine import cache as cache_module
+
+        other = ResultCache(cache.directory)
+        cache.hits, cache.misses = 3, 1
+        other.hits, other.misses = 0, 5
+
+        real_read = cache_module._read_stats_file
+        first_inside = threading.Event()
+        release_first = threading.Event()
+
+        def pausing_read(path):
+            totals = real_read(path)
+            if threading.current_thread().name == "first-flusher":
+                first_inside.set()
+                release_first.wait(10)
+            return totals
+
+        monkeypatch.setattr(
+            cache_module, "_read_stats_file", pausing_read
+        )
+        first = threading.Thread(
+            target=cache.flush_stats, name="first-flusher"
+        )
+        first.start()
+        assert first_inside.wait(10)
+        second = threading.Thread(target=other.flush_stats)
+        second.start()
+        second.join(0.3)
+        assert second.is_alive(), "second flusher should block on the lock"
+        release_first.set()
+        first.join(10)
+        second.join(10)
+        assert not first.is_alive() and not second.is_alive()
+
+        stats = cache_stats(cache.directory)
+        assert (stats["hits"], stats["misses"]) == (3, 6)
+        assert stats["sweeps"] == 2
+        # both flushers zeroed their session counters on success
+        assert (cache.hits, other.misses) == (0, 0)
+
     def test_unswept_directory_reports_no_rate(self, cache):
         from repro.engine import cache_stats
 
@@ -481,6 +533,44 @@ class TestCacheGc:
         fresh.lookup(_case(9, proposals=(9, 9, 9)))  # a miss
         fresh.flush_stats()
         assert cache_stats(cache.directory)["last_gc"]["at"] == 1234.5
+
+    def test_warm_hit_entry_survives_size_bounded_gc(self, cache):
+        # Regression: lookup never touched an entry on hit, so the
+        # "LRU" size bound ordered by store time and evicted the cache's
+        # hottest entries first.  The *older-stored* entry is served
+        # once; the size-bounded gc must then evict the colder (but
+        # newer-stored) one instead.
+        import time
+
+        from repro.engine import cache_gc
+
+        warm_path, cold_path = self._filled(cache, [100.0, 200.0])
+        warm_case = _case(0, workload="gc-0", proposals=(0, 0, 0))
+        fresh = ResultCache(cache.directory)
+        assert fresh.lookup(warm_case) is not None  # hit touches mtime
+        assert warm_path.stat().st_mtime > cold_path.stat().st_mtime
+        summary = cache_gc(
+            cache.directory,
+            max_bytes=warm_path.stat().st_size,
+            now=time.time(),
+        )
+        assert summary["removed"] == 1
+        assert warm_path.exists()
+        assert not cold_path.exists()
+
+    def test_touch_failure_on_hit_is_swallowed(self, cache, monkeypatch):
+        import os as os_module
+
+        case = _case(0, workload="touchy", proposals=(2, 2, 2))
+        (record,) = run_cases([case], cache=cache)
+
+        def refuse(path, *args, **kwargs):
+            raise OSError("read-only share")
+
+        monkeypatch.setattr(os_module, "utime", refuse)
+        fresh = ResultCache(cache.directory)
+        assert fresh.lookup(case) == record
+        assert fresh.hits == 1
 
     def test_gc_survivors_still_hit(self, cache):
         from repro.engine import cache_gc

@@ -1,5 +1,8 @@
 """Tests for the pluggable execution backends (repro.engine.executors)."""
 
+import multiprocessing
+import time
+
 import pytest
 
 from repro import ATt2, Schedule
@@ -65,14 +68,47 @@ class TestMapCasesProtocol:
         assert ThreadExecutor().name == "threads"
 
 
+def _assert_no_live_pool_children(timeout=10.0):
+    """Wait (briefly) for every pool worker process to be reaped."""
+    deadline = time.monotonic() + timeout
+    while multiprocessing.active_children():
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"pool processes still alive: "
+                f"{multiprocessing.active_children()}"
+            )
+        time.sleep(0.05)
+
+
+class TestPoolTeardown:
+    def test_abandoned_iterator_leaves_no_live_pool(self):
+        # Regression: map_cases used to yield lazily from inside the
+        # pool context, so a consumer that stopped iterating early
+        # (exception mid-merge) left the pool alive until GC.  Results
+        # are now drained inside the context, so by the time the first
+        # pair is yielded the pool is already torn down.
+        cases = [_case(i, horizon=8 + i) for i in range(6)]
+        iterator = ProcessExecutor(workers=2).map_cases(cases)
+        next(iterator)
+        iterator.close()  # abandon mid-stream, as an exception would
+        _assert_no_live_pool_children()
+
+    def test_abandoned_iterator_without_close_leaks_nothing(self):
+        cases = [_case(i, horizon=8 + i) for i in range(4)]
+        iterator = ProcessExecutor(workers=2).map_cases(cases)
+        next(iterator)
+        del iterator
+        _assert_no_live_pool_children()
+
+
 class TestFactoryCases:
-    def _factory_cases(self):
+    def _factory_cases(self, count=3, start=0):
         # A lambda factory cannot cross a process boundary.
         return [
-            _case(i, algorithm="custom",
+            _case(start + i, algorithm="custom",
                   factory=lambda pid, n, t, proposal:
                       ATt2.factory()(pid, n, t, proposal))
-            for i in range(3)
+            for i in range(count)
         ]
 
     def test_process_backend_falls_back_to_serial(self):
@@ -80,6 +116,43 @@ class TestFactoryCases:
             self._factory_cases()
         ))
         assert [record.global_round for _i, record in pairs] == [3, 3, 3]
+
+    def test_mixed_batch_pools_picklable_cases(self, monkeypatch):
+        # Regression: one factory case used to force the *entire* batch
+        # onto the serial fallback.  The batch is now partitioned — the
+        # picklable cases still go through the pool, the factory cases
+        # run inline — and the re-sorted output is unchanged.
+        from repro.engine import executors as executors_module
+
+        pool_requested = []
+        real_context = executors_module._pool_context
+
+        def recording_context():
+            pool_requested.append(True)
+            return real_context()
+
+        inline_indices = []
+        real_serial = executors_module.SerialExecutor.map_cases
+
+        def recording_serial(self, cases):
+            inline_indices.extend(case.index for case in cases)
+            return real_serial(self, cases)
+
+        monkeypatch.setattr(
+            executors_module, "_pool_context", recording_context
+        )
+        monkeypatch.setattr(
+            executors_module.SerialExecutor, "map_cases", recording_serial
+        )
+        mixed = (
+            [_case(i, horizon=8 + i) for i in range(4)]
+            + self._factory_cases(count=2, start=4)
+        )
+        records = run_cases(mixed, executor=ProcessExecutor(workers=2))
+        assert pool_requested, "picklable cases should still use the pool"
+        assert sorted(inline_indices) == [4, 5]
+        monkeypatch.undo()
+        assert records == run_cases(mixed, executor=SerialExecutor())
 
     def test_thread_backend_runs_factories_in_process(self):
         # Threads share the interpreter, so no fallback is needed.

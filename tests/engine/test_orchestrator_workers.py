@@ -1,0 +1,185 @@
+"""Worker inventories: strict validation, TOML parsing, the 3.10 fallback.
+
+A typo in a hosts file must never silently drop a machine from the
+sweep, so everything unknown is a loud :class:`OrchestratorError` — and
+the fallback parser (for interpreters without :mod:`tomllib`) must agree
+byte-for-byte with the real one on the supported subset, which the
+parity test below pins.
+"""
+
+import pytest
+
+from repro.engine.orchestrator import (
+    OrchestratorError,
+    WorkerSpec,
+    load_workers_file,
+    local_workers,
+    workers_from_data,
+)
+from repro.engine.orchestrator import workers as workers_module
+
+HOSTS_TOML = """\
+# Example inventory mixing local and remote workers.
+[defaults]
+python = "python3"
+repo = "/srv/repro"
+
+[[workers]]
+name = "local-a"
+
+[[workers]]
+name = "big-box"
+host = "node1.example.com"
+python = "python3.12"
+
+[[workers]]
+host = "sweeps@node2"
+repo = "/home/sweeps/repro"
+"""
+
+
+class TestWorkerSpec:
+    def test_rejects_empty_name(self):
+        with pytest.raises(OrchestratorError, match="non-empty name"):
+            WorkerSpec(name="")
+
+    def test_remote_requires_repo(self):
+        with pytest.raises(OrchestratorError, match="needs repo="):
+            WorkerSpec(name="box", host="node1")
+
+    def test_local_needs_no_repo(self):
+        worker = WorkerSpec(name="here")
+        assert not worker.is_remote
+        assert worker.describe() == "here (local)"
+
+    def test_remote_describe_names_the_host(self):
+        worker = WorkerSpec(name="box", host="node1", repo="/srv/repro")
+        assert worker.is_remote
+        assert worker.describe() == "box (ssh node1)"
+
+
+class TestLocalWorkers:
+    def test_names_are_unique_and_stable(self):
+        assert [w.name for w in local_workers(3)] == [
+            "local-0", "local-1", "local-2",
+        ]
+
+    @pytest.mark.parametrize("count", [0, -1])
+    def test_rejects_non_positive_counts(self, count):
+        with pytest.raises(OrchestratorError, match="at least one"):
+            local_workers(count)
+
+
+class TestWorkersFromData:
+    def test_defaults_merge_under_explicit_keys(self):
+        workers = workers_from_data(
+            {
+                "defaults": {"python": "python3", "repo": "/srv/repro"},
+                "workers": [
+                    {"name": "a"},
+                    {"name": "b", "host": "node1", "python": "python3.12"},
+                ],
+            }
+        )
+        assert workers[0].python == "python3"
+        assert workers[1].python == "python3.12"
+        assert workers[1].repo == "/srv/repro"  # default filled it
+
+    def test_name_defaults_to_host_then_position(self):
+        workers = workers_from_data(
+            {"workers": [{"host": "node1", "repo": "/r"}, {}]}
+        )
+        assert workers[0].name == "node1"
+        assert workers[1].name == "local-1"
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(OrchestratorError, match="unknown workers-file"):
+            workers_from_data({"wrokers": []})
+
+    def test_unknown_worker_key_rejected(self):
+        with pytest.raises(OrchestratorError, match="unknown keys"):
+            workers_from_data({"workers": [{"host": "n", "rpeo": "/r"}]})
+
+    def test_unknown_defaults_key_rejected(self):
+        # [defaults] cannot carry per-machine identity like name/host
+        with pytest.raises(OrchestratorError, match=r"\[defaults\] keys"):
+            workers_from_data({"defaults": {"name": "x"}, "workers": [{}]})
+
+    def test_non_string_value_rejected(self):
+        with pytest.raises(OrchestratorError, match="must be a string"):
+            workers_from_data({"workers": [{"name": 3}]})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(OrchestratorError, match="duplicate worker"):
+            workers_from_data({"workers": [{"name": "x"}, {"name": "x"}]})
+
+    @pytest.mark.parametrize("data", [{}, {"workers": []}, {"workers": "x"}])
+    def test_empty_inventories_rejected(self, data):
+        with pytest.raises(OrchestratorError, match=r"\[\[workers\]\]"):
+            workers_from_data(data)
+
+
+class TestLoadWorkersFile:
+    def test_parses_the_documented_example(self, tmp_path):
+        path = tmp_path / "hosts.toml"
+        path.write_text(HOSTS_TOML)
+        workers = load_workers_file(str(path))
+        assert [w.name for w in workers] == [
+            "local-a", "big-box", "sweeps@node2",
+        ]
+        assert not workers[0].is_remote
+        assert workers[1].python == "python3.12"
+        assert workers[1].repo == "/srv/repro"
+        assert workers[2].repo == "/home/sweeps/repro"
+
+    def test_missing_file_is_a_clean_error(self, tmp_path):
+        with pytest.raises(OrchestratorError, match="cannot read"):
+            load_workers_file(str(tmp_path / "nope.toml"))
+
+    def test_invalid_toml_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "hosts.toml"
+        path.write_text("workers = [[[")
+        with pytest.raises(OrchestratorError, match="not valid TOML|subset"):
+            load_workers_file(str(path))
+
+
+class TestFallbackParser:
+    """The tomllib-free path a 3.10 worker coordinator takes."""
+
+    def test_agrees_with_tomllib_on_the_supported_subset(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "hosts.toml"
+        path.write_text(HOSTS_TOML)
+        reference = load_workers_file(str(path))
+        monkeypatch.setattr(workers_module, "tomllib", None)
+        assert load_workers_file(str(path)) == reference
+
+    def test_unsupported_syntax_is_loud_not_misread(
+        self, tmp_path, monkeypatch
+    ):
+        # The fallback must never *mis*read a file the real parser would
+        # accept — anything outside the subset names its line and dies.
+        monkeypatch.setattr(workers_module, "tomllib", None)
+        path = tmp_path / "hosts.toml"
+        path.write_text('[[workers]]\nname = "a"\nslots = 3\n')
+        with pytest.raises(OrchestratorError, match="line 3"):
+            load_workers_file(str(path))
+
+    def test_key_outside_any_table_is_rejected(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(workers_module, "tomllib", None)
+        path = tmp_path / "hosts.toml"
+        path.write_text('python = "python3"\n')
+        with pytest.raises(OrchestratorError, match="outside any table"):
+            load_workers_file(str(path))
+
+    def test_comments_and_inline_comments_are_skipped(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setattr(workers_module, "tomllib", None)
+        path = tmp_path / "hosts.toml"
+        path.write_text(
+            '# heading\n[[workers]]\nname = "a"  # trailing comment\n'
+        )
+        workers = load_workers_file(str(path))
+        assert [w.name for w in workers] == ["a"]

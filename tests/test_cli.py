@@ -566,3 +566,117 @@ class TestRunTraceMode:
             if "global decision round" in line or "decisions:" in line
         ]
         assert pick(full_out) == pick(lean_out)
+
+
+class TestOrchestrate:
+    """The distributed-sweep driver behind ``repro orchestrate``."""
+
+    def _grid_file(self, tmp_path, capsys):
+        import json
+
+        from repro.engine import GridSpec, family
+
+        grid = GridSpec(
+            n=3,
+            t=1,
+            algorithms=("att2", "floodset"),
+            families=(
+                family("es", "random_es", count=3, horizon=10),
+                family("ff", "failure_free", horizon=10),
+            ),
+            seed=3,
+            proposal_mode="random",
+        )
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text(json.dumps(grid.to_data()))
+        return grid_path
+
+    def test_local_workers_match_serial_sweep_byte_identically(
+        self, capsys, tmp_path
+    ):
+        grid_path = self._grid_file(tmp_path, capsys)
+        serial = tmp_path / "serial.json"
+        orchestrated = tmp_path / "orch.json"
+        assert main(["sweep", "--grid", str(grid_path),
+                     "--json", str(serial)]) == 0
+        assert main(["orchestrate", "--grid", str(grid_path),
+                     "--local", "2", "--json", str(orchestrated)]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 shards completed" in out
+        assert orchestrated.read_bytes() == serial.read_bytes()
+
+    def test_chaos_killed_worker_retries_to_identical_output(
+        self, capsys, tmp_path
+    ):
+        # The acceptance contract end to end: SIGKILL one shard's first
+        # attempt and the merged export must still match serial bytes.
+        grid_path = self._grid_file(tmp_path, capsys)
+        serial = tmp_path / "serial.json"
+        orchestrated = tmp_path / "orch.json"
+        assert main(["sweep", "--grid", str(grid_path),
+                     "--json", str(serial)]) == 0
+        assert main(["orchestrate", "--grid", str(grid_path),
+                     "--local", "2", "--chaos-kill", "0",
+                     "--backoff", "0.05",
+                     "--json", str(orchestrated)]) == 0
+        out = capsys.readouterr().out
+        assert "[retry] shard 0" in out
+        assert orchestrated.read_bytes() == serial.read_bytes()
+
+    def test_workers_file_inventory_drives_the_sweep(
+        self, capsys, tmp_path
+    ):
+        grid_path = self._grid_file(tmp_path, capsys)
+        hosts = tmp_path / "hosts.toml"
+        hosts.write_text('[[workers]]\nname = "a"\n[[workers]]\nname = "b"\n')
+        orchestrated = tmp_path / "orch.json"
+        assert main(["orchestrate", "--grid", str(grid_path),
+                     "--workers-file", str(hosts),
+                     "--json", str(orchestrated)]) == 0
+        out = capsys.readouterr().out
+        assert "a (local), b (local)" in out
+        assert orchestrated.exists()
+
+    def test_needs_exactly_one_grid_source(self, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one of --grid"):
+            main(["orchestrate", "--local", "2"])
+        with pytest.raises(SystemExit, match="exactly one of --grid"):
+            main(["orchestrate", "--grid", "g.json", "--profile", "large",
+                  "--local", "2"])
+
+    def test_needs_exactly_one_worker_source(self, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one of --workers"):
+            main(["orchestrate", "--grid", "g.json"])
+        with pytest.raises(SystemExit, match="exactly one of --workers"):
+            main(["orchestrate", "--grid", "g.json", "--local", "2",
+                  "--workers-file", "hosts.toml"])
+
+    def test_grid_excludes_seed(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["orchestrate", "--grid", "g.json", "--seed", "3",
+                  "--local", "2"])
+
+    def test_missing_grid_file_rejected_before_launch(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["orchestrate", "--grid", str(tmp_path / "nope.json"),
+                  "--local", "2"])
+
+    def test_warm_cache_requires_cache_dir(self, capsys, tmp_path):
+        grid_path = self._grid_file(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="needs --cache"):
+            main(["orchestrate", "--grid", str(grid_path), "--local", "2",
+                  "--warm-cache"])
+
+    def test_chaos_kill_must_name_a_real_shard(self, capsys, tmp_path):
+        grid_path = self._grid_file(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="chaos-kill shard"):
+            main(["orchestrate", "--grid", str(grid_path), "--local", "2",
+                  "--chaos-kill", "99"])
+
+    def test_invalid_workers_file_fails_cleanly(self, capsys, tmp_path):
+        grid_path = self._grid_file(tmp_path, capsys)
+        hosts = tmp_path / "hosts.toml"
+        hosts.write_text('[[workers]]\nhost = "node1"\n')  # remote, no repo
+        with pytest.raises(SystemExit, match="needs repo="):
+            main(["orchestrate", "--grid", str(grid_path),
+                  "--workers-file", str(hosts)])
