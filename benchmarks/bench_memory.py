@@ -1,0 +1,105 @@
+"""Driver-memory bench: a streamed XXL sweep stays under a fixed RSS budget.
+
+The streaming path (``repro sweep --spool``, :func:`repro.engine.runner.
+stream_batch`) bounds the driver to one record in flight: everything
+else lands in the append-only JSONL spool as it completes, and the
+canonical export is rebuilt from the spool afterwards.  This bench runs
+an n = 250 lean sweep through that path in a child interpreter and
+checks the child's peak RSS against the budget in
+``benchmarks/memory_floor.json`` — the same pattern as the nightly
+speedup floors: a deliberately generous ceiling, so only structural
+regressions (the driver quietly accumulating records or traces again)
+trip it, never allocator noise.
+
+Peak RSS is a low-noise measurement (unlike one-shot wall-clock), so
+the ``kernel-bench`` CI lane asserts the ceiling on every push via
+``REPRO_BENCH_ASSERT_MEMORY=1``; without the knob the bench only
+reports the number.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from conftest import emit
+
+FLOOR_FILE = os.path.join(os.path.dirname(__file__), "memory_floor.json")
+
+#: The measured sweep: one instance per family at n = 250, the two
+#: delivery-bound algorithms that bracket the stock set's memory
+#: behaviour (suspicion-set state vs counter state) — heavy enough to
+#: expose accumulation, light enough for every push.
+SWEEP_ARGS = (
+    "sweep", "--n", "250", "--t", "16",
+    "--algorithms", "adiamond_s,chandra_toueg",
+    "--cases-per-family", "1", "--seed", "20260730",
+    "--backend", "serial", "--trace", "lean",
+)
+EXPECTED_CASES = 16  # 8 schedule families x 2 algorithms
+
+#: Child driver: run the CLI in a fresh interpreter and report that
+#: process's own peak RSS, so the measurement can never be polluted by
+#: pytest's (or earlier benches') high-water mark.
+_CHILD = """\
+import json, resource, sys
+from repro.cli import main
+rc = main(sys.argv[1:])
+peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+if sys.platform == "darwin":  # ru_maxrss is bytes there, KB on Linux
+    peak //= 1024
+print(json.dumps({"rc": rc, "peak_kb": peak}))
+"""
+
+
+def _streamed_sweep_peak_kb(spool: str) -> int:
+    """Peak RSS (KB) of a child driver streaming the bench sweep."""
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, *SWEEP_ARGS, "--spool", spool],
+        capture_output=True, text=True, env=env,
+    )
+    assert proc.returncode == 0, (
+        f"streamed bench sweep failed (rc={proc.returncode}):\n"
+        f"{proc.stdout}\n{proc.stderr}"
+    )
+    report = json.loads(proc.stdout.strip().splitlines()[-1])
+    assert report["rc"] == 0, f"sweep exited {report['rc']}"
+    return report["peak_kb"]
+
+
+@pytest.mark.smoke
+def test_streamed_sweep_memory_ceiling(tmp_path):
+    spool = str(tmp_path / "spool.jsonl")
+    peak_kb = _streamed_sweep_peak_kb(spool)
+
+    with open(FLOOR_FILE, "r", encoding="utf-8") as handle:
+        budget_kb = json.load(handle)["streamed_sweep_peak_rss_kb"]
+    emit(
+        f"streamed n=250 sweep: driver peak RSS {peak_kb} KB "
+        f"(budget {budget_kb} KB, "
+        f"{100 * peak_kb / budget_kb:.0f}% of ceiling)"
+    )
+
+    # The run must actually have streamed: the spool alone rebuilds the
+    # complete, canonically-ordered result.
+    from repro.engine import BatchResult
+
+    result = BatchResult.load_spool(spool)
+    assert result.case_count == EXPECTED_CASES
+    assert not result.violations()
+
+    if os.environ.get("REPRO_BENCH_ASSERT_MEMORY") == "1":
+        assert peak_kb <= budget_kb, (
+            f"streamed sweep driver peaked at {peak_kb} KB, over the "
+            f"{budget_kb} KB budget in {FLOOR_FILE} — the streaming "
+            f"path is accumulating per-case state again"
+        )

@@ -14,6 +14,7 @@ exactly one extra round on top of FloodSet's t + 1.
 from __future__ import annotations
 
 from repro.algorithms.common import ConsensusAutomaton
+from repro.sim.bitset import intern_values
 from repro.sim.view import RoundView
 from repro.types import Payload, ProcessId, Round, Value
 
@@ -32,7 +33,7 @@ class FloodSet(ConsensusAutomaton):
 
     def __init__(self, pid: ProcessId, n: int, t: int, proposal: Value):
         super().__init__(pid, n, t, proposal)
-        self.known: frozenset[Value] = frozenset({proposal})
+        self.known: frozenset[Value] = intern_values(frozenset({proposal}))
 
     @property
     def decision_round_bound(self) -> Round:
@@ -42,10 +43,18 @@ class FloodSet(ConsensusAutomaton):
         return (FLOOD, k, self.known)
 
     def round_deliver_view(self, k: Round, view: RoundView) -> None:
-        union = set(self.known)
+        # W sets converge within a couple of rounds, after which every
+        # union is a no-op: keep the existing (interned) frozenset when
+        # nothing new arrived, and intern grown sets so all n processes'
+        # equal W sets are one shared object, not n rebuilt copies.
+        known = self.known
+        union = set(known)
         for _sender, payload in view.tagged(FLOOD):
-            union.update(payload[2])
-        self.known = frozenset(union)
+            values = payload[2]
+            if values is not known:
+                union.update(values)
+        if len(union) != len(known):
+            self.known = intern_values(frozenset(union))
         if k == self.t + 1:
             self._decide(min(self.known), k)
 

@@ -17,10 +17,13 @@ so ``est_i`` is monotonically non-increasing and ``msgSet_i`` is never
 empty.
 
 The update is implemented as a *single batched pass* over the round's
-ESTIMATE ``(sender, payload)`` items: one loop accumulates the sender
-set and the suspecting-me additions, the absent set is one interned-set
-difference, and the new estimate is folded in a second short scan of the
-same items — no per-step list materialization, no ``frozenset(range(n))``
+ESTIMATE ``(sender, payload)`` items, entirely on int bitmasks: one loop
+accumulates the arrived-sender mask and the suspecting-me mask, the
+suspected-now set is one word-complement, and the Halt union is one
+``|`` — the public ``halt`` frozenset is materialized (interned, so
+structurally equal rows share one object) only when the row actually
+changed.  The new estimate is folded in a second short scan of the same
+items — no per-step list materialization, no ``frozenset(range(n))``
 rebuild.  The fast entry point is :meth:`EstimateState.compute_view`
 (fed by the kernel's pre-bucketed :class:`~repro.sim.view.RoundView`);
 :meth:`EstimateState.compute` keeps the message-tuple signature for
@@ -35,7 +38,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 from repro.model.messages import Message
-from repro.sim.view import all_pids
+from repro.sim.bitset import full_mask, interned_set, mask_of
 from repro.types import Payload, ProcessId, Round, Value
 
 if TYPE_CHECKING:
@@ -52,12 +55,20 @@ def estimate_payload(
 
 @dataclass
 class EstimateState:
-    """Mutable Phase-1 state of one process: (est, Halt)."""
+    """Mutable Phase-1 state of one process: (est, Halt).
+
+    ``halt`` stays the public frozenset the payloads carry; the batched
+    update works on its bitmask shadow (``_halt_mask``), kept in lock
+    step, so the per-round set algebra is word operations.
+    """
 
     pid: ProcessId
     n: int
     est: Value
     halt: frozenset[ProcessId] = frozenset()
+
+    def __post_init__(self) -> None:
+        self._halt_mask = mask_of(self.halt)
 
     def payload(self, k: Round) -> Payload:
         return estimate_payload(k, self.est, self.halt)
@@ -89,28 +100,36 @@ class EstimateState:
     ) -> None:
         """The batched update over ESTIMATE ``(sender, payload)`` items."""
         pid = self.pid
-        halt = self.halt
         items = tuple(items)
         # Suspected now: everyone whose round-k message did not arrive
-        # (never oneself; ``all_pids`` is interned per n).  Suspecting
-        # me: every arriving sender whose Halt already contains pid.
-        suspected_now = all_pids(self.n).difference(
-            [sender for sender, _payload in items], (pid,)
-        )
-        suspecting_me = {
-            sender for sender, payload in items if pid in payload[3]
-        }
-        additions = (suspected_now | suspecting_me) - halt
+        # (never oneself) — one word-complement over the arrived-sender
+        # mask.  Suspecting me: every arriving sender whose Halt already
+        # contains pid.
+        arrived = 0
+        suspecting_me = 0
+        for sender, payload in items:
+            bit = 1 << sender
+            arrived |= bit
+            if pid in payload[3]:
+                suspecting_me |= bit
+        halt_mask = self._halt_mask
+        suspected_now = full_mask(self.n) & ~arrived & ~(1 << pid)
+        additions = (suspected_now | suspecting_me) & ~halt_mask
         if additions:
-            halt = halt | additions
-            self.halt = halt
-        msg_set = [
-            payload[2]
-            for sender, payload in items
-            if sender not in halt
-        ]
-        if msg_set:
-            self.est = min(msg_set)
+            halt_mask |= additions
+            self._halt_mask = halt_mask
+            self.halt = interned_set(halt_mask)
+        have_est = False
+        est = None
+        for sender, payload in items:
+            if (halt_mask >> sender) & 1:
+                continue
+            value = payload[2]
+            if not have_est or value < est:
+                have_est = True
+                est = value
+        if have_est:
+            self.est = est
 
     def msg_set_senders(
         self, k: Round, messages: tuple[Message, ...]

@@ -41,6 +41,8 @@ Examples::
     python -m repro sweep --grid experiments/ --json all.json
     python -m repro sweep --profile large --trace lean
     python -m repro sweep --profile xlarge --trace lean
+    python -m repro sweep --profile xxlarge --trace lean \
+        --spool xxl.jsonl --json xxl.json
     python -m repro orchestrate --grid grid.json --local 4 --json all.json
     python -m repro orchestrate --profile large --workers-file hosts.toml \
         --cache .sweep-cache --warm-cache --json large.json
@@ -81,10 +83,21 @@ name) as one combined sweep: case indices are offset per grid and
 workload labels prefixed with the grid file's stem, so the single
 ``--json`` export merges all grids canonically.  ``--profile large``
 runs the stock large-n preset (n = 25 and n = 50, long horizons) the
-same way, and ``--profile xlarge`` the n = 100 milestone preset (one
+same way, ``--profile xlarge`` the n = 100 milestone preset (one
 instance per family, horizon 102) that the round-view delivery
-pipeline makes a seconds-not-minutes run.  ``repro grid validate
-FILE_OR_DIR...`` lints grid files for CI without executing them.
+pipeline makes a seconds-not-minutes run, and ``--profile xxlarge``
+the n = 250 preset (t pinned at the xlarge value, isolating the
+per-round n² data-plane cost) that the bitset data plane makes
+tractable — pair it with ``--spool`` so the driver's memory stays
+bounded.  ``repro grid validate FILE_OR_DIR...`` lints grid files for
+CI without executing them.
+
+``--spool FILE`` streams every record to an append-only JSONL spool as
+it completes instead of accumulating the batch in memory
+(:mod:`repro.engine.sink`): the driver holds one record at a time, a
+killed run leaves the spool loadable as a clean partial result, and the
+``--json`` export is rebuilt from the spool byte-identical to the
+in-memory path.
 
 Trace modes
 -----------
@@ -426,10 +439,13 @@ def _expand_grids(grids) -> list:
 def _cmd_sweep(args) -> int:
     from repro.engine import (
         AlgorithmSummary,
+        BatchResult,
         ExecutorError,
+        JsonlRecordSink,
         ResultCache,
         resolve_executor,
         run_batch,
+        stream_batch,
     )
 
     workers = _parse_workers(args)
@@ -441,6 +457,15 @@ def _cmd_sweep(args) -> int:
         raise SystemExit(str(exc))
     if args.json:
         _ensure_writable(args.json)
+    if args.spool:
+        if os.path.exists(args.spool) and os.path.getsize(args.spool):
+            raise SystemExit(
+                f"--spool {args.spool!r} already exists and is not empty; "
+                f"the spool is append-only, so streaming into it again "
+                f"would duplicate case indices — remove it or pick a "
+                f"fresh path"
+            )
+        _ensure_writable(args.spool, flag="--spool")
     if args.save_grid:
         if len(grids) > 1:
             raise SystemExit(
@@ -490,9 +515,25 @@ def _cmd_sweep(args) -> int:
         f"sweep: {len(cases)} cases ({shape}, "
         f"backend={executor.name}, trace={args.trace}"
     )
-    result = run_batch(
-        cases, executor=executor, cache=cache, trace=args.trace
-    )
+    if args.spool:
+        # Stream to the spool with a bounded driver: no record is ever
+        # accumulated in memory.  The canonical result (summaries,
+        # --json export) is then rebuilt from the spool — byte-identical
+        # to the in-memory path, per the engine's determinism contract.
+        sink = JsonlRecordSink(args.spool)
+        try:
+            streamed = stream_batch(
+                cases, sink=sink, executor=executor,
+                cache=cache, trace=args.trace,
+            )
+        finally:
+            sink.close()
+        print(f"spooled {streamed} records to {args.spool}")
+        result = BatchResult.load_spool(args.spool)
+    else:
+        result = run_batch(
+            cases, executor=executor, cache=cache, trace=args.trace
+        )
     rows = [summary.row() for summary in result.summaries()]
     print()
     print(format_table(
@@ -566,7 +607,7 @@ def _cmd_orchestrate(args) -> int:
     import shutil
     import tempfile
 
-    from repro.engine import AlgorithmSummary
+    from repro.engine import AlgorithmSummary, JsonlRecordSink
     from repro.engine.orchestrator import (
         OrchestratorError,
         build_backend,
@@ -600,6 +641,15 @@ def _cmd_orchestrate(args) -> int:
         chaos = frozenset({args.chaos_kill})
     if args.json:
         _ensure_writable(args.json)
+    if args.spool:
+        if os.path.exists(args.spool) and os.path.getsize(args.spool):
+            raise SystemExit(
+                f"--spool {args.spool!r} already exists and is not empty; "
+                f"the spool is append-only, so streaming into it again "
+                f"would duplicate case indices — remove it or pick a "
+                f"fresh path"
+            )
+        _ensure_writable(args.spool, flag="--spool")
 
     workdir = args.workdir or tempfile.mkdtemp(prefix="repro-orchestrate-")
     backend = build_backend(
@@ -621,6 +671,7 @@ def _cmd_orchestrate(args) -> int:
         f"({', '.join(worker.describe() for worker in workers)}), "
         f"retries={args.retries}, timeout={args.timeout or 'none'}"
     )
+    sink = JsonlRecordSink(args.spool) if args.spool else None
     try:
         report = orchestrate(
             workers,
@@ -632,9 +683,15 @@ def _cmd_orchestrate(args) -> int:
             heartbeat=args.heartbeat or None,
             warm=args.warm_cache,
             on_event=show,
+            sink=sink,
         )
     except OrchestratorError as exc:
         raise SystemExit(str(exc))
+    finally:
+        if sink is not None:
+            sink.close()
+    if sink is not None:
+        print(f"spooled {sink.count} records to {args.spool}")
 
     print()
     print(report.describe())
@@ -873,9 +930,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--profile", default="",
         help="run a stock multi-grid preset (large: n=25 and n=50 with "
-             "long horizons; xlarge: the n=100 milestone); mutually "
-             "exclusive with --grid and the grid-shaping flags "
-             "(except --seed)",
+             "long horizons; xlarge: the n=100 milestone; xxlarge: the "
+             "n=250 preset, best with --spool); mutually exclusive with "
+             "--grid and the grid-shaping flags (except --seed)",
     )
     sweep_parser.add_argument(
         "--trace", choices=("full", "lean"), default="lean",
@@ -926,6 +983,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--json", default="",
                               help="write all records to this JSON file")
     sweep_parser.add_argument(
+        "--spool", default="",
+        help="stream records to this append-only JSONL spool as they "
+             "complete (bounded driver memory; summaries and --json are "
+             "rebuilt from the spool, byte-identical to the in-memory "
+             "path)",
+    )
+    sweep_parser.add_argument(
         "--cache", default="",
         help="content-addressed result cache directory: repeated "
              "identical grids only execute cache misses",
@@ -948,7 +1012,7 @@ def build_parser() -> argparse.ArgumentParser:
     orch_parser.add_argument(
         "--profile", default="",
         help="stock multi-grid preset to sweep instead of --grid "
-             "(large, xlarge)",
+             "(large, xlarge, xxlarge)",
     )
     orch_parser.add_argument(
         "--seed", type=int, default=None,
@@ -1020,6 +1084,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the merged result to this JSON file (byte-identical "
              "to a serial whole-grid sweep; partial results get a "
              ".partial suffix)",
+    )
+    orch_parser.add_argument(
+        "--spool", default="",
+        help="append accepted shards' records to this JSONL spool as "
+             "they merge: a driver killed mid-run leaves every completed "
+             "shard durable and loadable as a clean partial result",
     )
 
     merge_parser = sub.add_parser(

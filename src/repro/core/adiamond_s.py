@@ -28,6 +28,7 @@ from __future__ import annotations
 from repro.algorithms.base import AlgorithmFactory
 from repro.algorithms.hurfin_raynal import HurfinRaynalES
 from repro.core.att2 import ATt2
+from repro.sim.bitset import interned_set
 from repro.sim.view import RoundView
 from repro.types import ProcessId, Round, Value
 
@@ -61,7 +62,10 @@ class ADiamondS(ATt2):
         self.fd_history: dict[Round, frozenset[ProcessId]] = {}
 
     def round_deliver_view(self, k: Round, view: RoundView) -> None:
-        # view.absent is all_pids - current_senders, shared per view
-        # group; the detector never suspects the process itself.
-        self.fd_history[k] = view.absent.difference((self.pid,))
+        # One mask operation off the view's absent mask; the detector
+        # never suspects the process itself.  Interning means the n
+        # processes' identical detector rows share one frozenset.
+        self.fd_history[k] = interned_set(
+            view.absent_mask & ~(1 << self.pid)
+        )
         super().round_deliver_view(k, view)

@@ -48,7 +48,8 @@ from repro.engine.grids import (
     profile_grids,
 )
 from repro.engine.results import AlgorithmSummary, BatchResult
-from repro.engine.runner import run_batch, run_cases
+from repro.engine.runner import run_batch, run_cases, stream_batch
+from repro.engine.sink import JsonlRecordSink, RecordSink, read_spool
 
 __all__ = [
     "BACKENDS",
@@ -82,4 +83,8 @@ __all__ = [
     "resolve_workers",
     "run_batch",
     "run_cases",
+    "stream_batch",
+    "JsonlRecordSink",
+    "RecordSink",
+    "read_spool",
 ]

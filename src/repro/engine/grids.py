@@ -505,7 +505,12 @@ DEFAULT_SWEEP_ALGORITHMS = (
 #: instance per family at horizon 102, the stock harness for scaling
 #: studies of the t + 2-round price of indulgence (a smoke CI lane runs
 #: it under a wall-clock budget so n = 100 regressions fail fast).
-SWEEP_PROFILES = ("large", "xlarge")
+#: ``xxlarge`` is the bitset data plane's milestone — n = 250 with t
+#: *pinned* at the xlarge value (rounds-to-decide scales with t, so
+#: holding t isolates the per-round data-plane cost that n² drives);
+#: run it with the process-pool backend and ``--spool`` so the driver's
+#: memory stays bounded by one record.
+SWEEP_PROFILES = ("large", "xlarge", "xxlarge")
 
 
 def profile_grids(
@@ -527,6 +532,11 @@ def profile_grids(
     if profile == "xlarge":
         return [
             ("n100", default_sweep_grid(100, 32, seed=seed,
+                                        cases_per_family=1)),
+        ]
+    if profile == "xxlarge":
+        return [
+            ("n250", default_sweep_grid(250, 32, seed=seed,
                                         cases_per_family=1)),
         ]
     raise GridError(

@@ -47,6 +47,7 @@ from repro.engine.grids import ShardSpec
 from repro.engine.orchestrator.backends import ShardFailure, WorkerBackend
 from repro.engine.orchestrator.workers import OrchestratorError, WorkerSpec
 from repro.engine.results import BatchResult
+from repro.engine.sink import RecordSink
 
 #: Event kinds emitted to ``on_event`` (CLI progress, test assertions).
 EVENT_KINDS = (
@@ -170,6 +171,7 @@ def orchestrate(
     heartbeat: float | None = 5.0,
     warm: bool = False,
     on_event: OnEvent | None = None,
+    sink: RecordSink | None = None,
 ) -> OrchestrationReport:
     """Run a whole distributed sweep; the synchronous entry point."""
     return asyncio.run(
@@ -183,6 +185,7 @@ def orchestrate(
             heartbeat=heartbeat,
             warm=warm,
             on_event=on_event,
+            sink=sink,
         )
     )
 
@@ -198,8 +201,19 @@ async def orchestrate_async(
     heartbeat: float | None = 5.0,
     warm: bool = False,
     on_event: OnEvent | None = None,
+    sink: RecordSink | None = None,
 ) -> OrchestrationReport:
-    """See :func:`orchestrate`; this is the event-loop-native form."""
+    """See :func:`orchestrate`; this is the event-loop-native form.
+
+    ``sink`` streams every accepted shard's records to an append-only
+    spool the moment the shard merges: a driver killed mid-orchestration
+    leaves every completed shard durable on disk, and
+    :meth:`BatchResult.load_spool
+    <repro.engine.results.BatchResult.load_spool>` rebuilds the clean
+    partial (the ``.partial`` recovery path).  Shards that never
+    complete contribute nothing to the spool — retries re-execute them
+    idempotently, so the spool can never double-count.
+    """
     if not workers:
         raise OrchestratorError("orchestrate needs at least one worker")
     if shard_count < 1:
@@ -292,6 +306,12 @@ async def orchestrate_async(
                 task, worker, f"merge rejected shard export: {exc}"
             )
             return
+        if sink is not None:
+            # Stream the accepted shard to the durable spool only after
+            # the overlap check admitted it — the spool mirrors exactly
+            # the merged record set, shard by shard.
+            for record in result.records:
+                sink.append(record)
         emit("complete", f"{result.case_count} cases merged "
                          f"({merged.case_count} total)",
              shard=index, worker=worker.name, attempt=task.attempt)

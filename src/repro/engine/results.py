@@ -165,12 +165,43 @@ class BatchResult:
         """Read a ``save``d (or ``--json``-exported) result back from disk.
 
         The inverse of :meth:`save`; shard exports loaded this way feed
-        :meth:`merge` to recombine a sharded sweep.  Raises ``ValueError``
-        on malformed JSON or a foreign format version, ``OSError`` on an
-        unreadable path.
+        :meth:`merge` to recombine a sharded sweep.  JSONL record spools
+        (:mod:`repro.engine.sink`) are detected by their first line — a
+        complete record object — and routed through :meth:`load_spool`,
+        so every consumer of exports accepts a spool transparently.
+        Raises ``ValueError`` on malformed JSON or a foreign format
+        version, ``OSError`` on an unreadable path.
         """
         with open(path, "r", encoding="utf-8") as handle:
-            return BatchResult.from_data(json.load(handle))
+            head = handle.readline()
+            try:
+                first = json.loads(head)
+            except ValueError:
+                first = None
+            if isinstance(first, dict) and "algorithm" in first:
+                pass  # a spool line; re-read via the streaming reader
+            else:
+                handle.seek(0)
+                return BatchResult.from_data(json.load(handle))
+        return BatchResult.load_spool(path)
+
+    @staticmethod
+    def load_spool(path: str) -> "BatchResult":
+        """Rebuild a result from a JSONL record spool (streaming reader).
+
+        The spool is unordered (pool completion order) and may end in a
+        torn line if the producing driver was killed mid-write; the
+        reader drops the torn tail, and the records are re-sorted into
+        canonical case order — so the rebuilt result (and its
+        :meth:`to_json` bytes) is exactly what the in-memory path would
+        have produced from the same finished cases.  Duplicate case
+        indices (a spool appended twice) raise ``ValueError`` via
+        :meth:`merge`'s overlap check.
+        """
+        from repro.engine.sink import read_spool
+
+        records = tuple(read_spool(path))
+        return BatchResult.merge([BatchResult(records=records)])
 
     @staticmethod
     def from_data(data: Mapping) -> "BatchResult":

@@ -66,6 +66,7 @@ from repro.engine.results import BatchResult
 
 if TYPE_CHECKING:
     from repro.engine.cache import ResultCache
+    from repro.engine.sink import RecordSink
 
 __all__ = [
     "Executor",
@@ -77,6 +78,7 @@ __all__ = [
     "resolve_workers",
     "run_batch",
     "run_cases",
+    "stream_batch",
 ]
 
 OnRecord = Callable[[int, SweepRecord], None]
@@ -131,6 +133,8 @@ def run_cases(
     on_record: OnRecord | None = None,
     cache: "ResultCache | None" = None,
     trace: str | None = None,
+    sink: "RecordSink | None" = None,
+    collect: bool = True,
 ) -> list[SweepRecord]:
     """Execute *cases* and return their records in canonical case order.
 
@@ -154,6 +158,13 @@ def run_cases(
             own mode).  Records — and therefore exports and cache
             entries — are byte-identical across modes; the flag only
             selects how much the kernel materializes along the way.
+        sink: optional :class:`~repro.engine.sink.RecordSink`; every
+            record is appended as it arrives (same ordering caveat as
+            ``on_record``).  The caller owns the sink's lifecycle.
+        collect: when false, records are *not* accumulated (the return
+            value is an empty list) — combined with ``sink`` this bounds
+            the driver's memory by one record instead of the batch; the
+            canonical order is restored when the spool is read back.
     """
     backend = _resolve_backend(executor, workers)
     cases = list(cases)  # tolerate one-shot iterators: we iterate twice
@@ -165,6 +176,15 @@ def run_cases(
     _check_unique_indices(cases)
 
     indexed: list[tuple[int, SweepRecord]] = []
+
+    def emit(index: int, record: SweepRecord) -> None:
+        if collect:
+            indexed.append((index, record))
+        if on_record is not None:
+            on_record(index, record)
+        if sink is not None:
+            sink.append(record)
+
     pending: Sequence[Case] = cases
     key_by_index: dict[int, str | None] = {}
     duplicate_of: dict[int, list[Case]] = {}
@@ -188,19 +208,15 @@ def run_cases(
                 key_by_index[case.index] = key
                 pending.append(case)
             else:
-                indexed.append((case.index, record))
-                if on_record is not None:
-                    on_record(case.index, record)
+                emit(case.index, record)
 
     by_index = {case.index: case for case in pending}
 
-    def collect(pair: tuple[int, SweepRecord]) -> None:
+    def handle(pair: tuple[int, SweepRecord]) -> None:
         index, record = pair
         if cache is not None:
             cache.store(by_index[index], record, key_by_index[index])
-        indexed.append(pair)
-        if on_record is not None:
-            on_record(index, record)
+        emit(index, record)
         for duplicate in duplicate_of.get(index, ()):
             cache.deduped += 1
             stamped = replace(
@@ -208,12 +224,10 @@ def run_cases(
                 workload=duplicate.workload,
                 case_index=duplicate.index,
             )
-            indexed.append((duplicate.index, stamped))
-            if on_record is not None:
-                on_record(duplicate.index, stamped)
+            emit(duplicate.index, stamped)
 
     for pair in backend.map_cases(pending):
-        collect(pair)
+        handle(pair)
     indexed.sort(key=lambda pair: pair[0])
     return [record for _index, record in indexed]
 
@@ -251,3 +265,52 @@ def run_batch(
                       on_record=on_record, cache=cache, trace=trace)
         )
     )
+
+
+def stream_batch(
+    grid: GridSpec | Iterable[Case],
+    *,
+    sink: "RecordSink",
+    executor: Executor | None = None,
+    shard: ShardSpec | None = None,
+    on_record: OnRecord | None = None,
+    cache: "ResultCache | None" = None,
+    trace: str | None = None,
+) -> int:
+    """Execute a grid streaming every record to *sink*; returns the count.
+
+    The bounded-memory counterpart of :func:`run_batch`: the driver never
+    holds more than the record in flight — everything lands in the sink
+    (typically a :class:`~repro.engine.sink.JsonlRecordSink` spool) as it
+    completes.  Rebuilding the canonical
+    :class:`~repro.engine.results.BatchResult` from the spool
+    (:meth:`BatchResult.load_spool
+    <repro.engine.results.BatchResult.load_spool>`) yields byte-identical
+    exports to the in-memory path — the engine's determinism contract
+    does not care where the records waited.  The caller owns the sink's
+    lifecycle (close it to guarantee the tail is flushed).
+    """
+    if isinstance(grid, GridSpec):
+        cases: Sequence[Case] = expand_grid(grid)
+    else:
+        cases = list(grid)
+    if shard is not None:
+        cases = shard.select(cases)
+    count = 0
+
+    def counting(index: int, record: SweepRecord) -> None:
+        nonlocal count
+        count += 1
+        if on_record is not None:
+            on_record(index, record)
+
+    run_cases(
+        cases,
+        executor=executor,
+        on_record=counting,
+        cache=cache,
+        trace=trace,
+        sink=sink,
+        collect=False,
+    )
+    return count

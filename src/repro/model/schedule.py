@@ -128,13 +128,28 @@ class Schedule:
 
     @property
     def faulty(self) -> frozenset[ProcessId]:
-        """Processes that crash at some point in this schedule."""
-        return frozenset(self.crashes)
+        """Processes that crash at some point in this schedule.
+
+        Memoized per instance (the schedule is frozen): metrics and
+        record production read this per case, and at large n rebuilding
+        the set per access is measurable.
+        """
+        cached = self.__dict__.get("_faulty_cache")
+        if cached is None:
+            cached = frozenset(self.crashes)
+            object.__setattr__(self, "_faulty_cache", cached)
+        return cached
 
     @property
     def correct(self) -> frozenset[ProcessId]:
-        """Processes that never crash in this schedule."""
-        return frozenset(p for p in self.processes if p not in self.crashes)
+        """Processes that never crash in this schedule (memoized)."""
+        cached = self.__dict__.get("_correct_cache")
+        if cached is None:
+            cached = frozenset(
+                p for p in self.processes if p not in self.crashes
+            )
+            object.__setattr__(self, "_correct_cache", cached)
+        return cached
 
     def crash_round(self, pid: ProcessId) -> Round | None:
         spec = self.crashes.get(pid)

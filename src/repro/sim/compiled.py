@@ -57,9 +57,14 @@ from dataclasses import dataclass
 from functools import cached_property
 
 from repro.model.schedule import Schedule
+from repro.sim.bitset import mask_of
 from repro.types import ProcessId, Round
 
 __all__ = ["CompiledSchedule", "compile_schedule"]
+
+#: The interned empty crash set — most rounds crash nobody, and every
+#: such round in every compiled plan shares this one object.
+_EMPTY_PIDS: frozenset[ProcessId] = frozenset()
 
 
 @dataclass(frozen=True)
@@ -92,6 +97,18 @@ class CompiledSchedule:
             :class:`~repro.sim.view.RoundView` bucket set.
         delayed_groups: the same sharing key for the delayed plan.
         crashed: per round, the processes crashing in that round.
+        sender_masks: ``senders`` as per-round int bitmasks (bit ``i``
+            set iff process ``i`` sends in the round).
+        completer_masks: ``completers`` as per-round bitmasks.
+        crashed_masks: ``crashed`` as per-round bitmasks.
+
+    The tuple rows and the mask rows describe the same sets; the masks
+    are the data plane's working representation (single-word complement
+    and membership), the tuples/frozensets the iteration-order-carrying
+    boundary one.  Rounds in which nothing crashes *share* their
+    sender/completer rows with the previous round — in a failure-free
+    schedule the whole plan holds one sender tuple, not ``horizon`` of
+    them.
     """
 
     schedule: Schedule
@@ -106,6 +123,9 @@ class CompiledSchedule:
     current_groups: tuple[tuple[ProcessId, ...], ...]
     delayed_groups: tuple[tuple[ProcessId, ...], ...]
     crashed: tuple[frozenset[ProcessId], ...]
+    sender_masks: tuple[int, ...]
+    completer_masks: tuple[int, ...]
+    crashed_masks: tuple[int, ...]
 
     @cached_property
     def inboxes(
@@ -139,7 +159,10 @@ def _compile(schedule: Schedule) -> CompiledSchedule:
 
     senders: list[tuple[ProcessId, ...]] = [()]
     completers: list[tuple[ProcessId, ...]] = [()]
-    crashed: list[frozenset[ProcessId]] = [frozenset()]
+    crashed: list[frozenset[ProcessId]] = [_EMPTY_PIDS]
+    sender_masks: list[int] = [0]
+    completer_masks: list[int] = [0]
+    crashed_masks: list[int] = [0]
     inboxes: list[list[list[tuple[Round, ProcessId]]]] = [
         [[] for _ in range(n)] for _ in range(horizon + 1)
     ]
@@ -149,19 +172,43 @@ def _compile(schedule: Schedule) -> CompiledSchedule:
     # Schedule.is_synchronous_round, folded into this sweep for free.
     sync_ok = [True] * (horizon + 1)
 
+    # Crash rounds bucketed once: rounds without an entry reuse the
+    # previous round's sender/completer rows wholesale instead of
+    # rebuilding n-element tuples per round.
+    crashes_in: dict[Round, list[ProcessId]] = {}
+    for pid in range(n):
+        if crash_at[pid] <= horizon:
+            crashes_in.setdefault(crash_at[pid], []).append(pid)
+
+    # Live at the start of round 1: everyone whose crash round is >= 1
+    # (i.e. everyone — crash rounds are 1-based — unless a degenerate
+    # schedule crashes a process before the run starts).
+    live = tuple(pid for pid in range(n) if crash_at[pid] >= 1)
+    live_mask = mask_of(live)
+
     delivery_round = schedule.delivery_round
     for k in range(1, horizon + 1):
-        round_senders = tuple(
-            pid for pid in range(n) if crash_at[pid] >= k
-        )
-        round_completers = tuple(
-            pid for pid in range(n) if crash_at[pid] > k
-        )
+        round_senders = live
+        crashing = crashes_in.get(k)
+        if crashing is None:
+            round_completers = live
+            completer_mask = live_mask
+            crashed.append(_EMPTY_PIDS)
+            crashed_masks.append(0)
+        else:
+            crashed_mask = mask_of(crashing)
+            round_completers = tuple(
+                pid for pid in live if crash_at[pid] > k
+            )
+            completer_mask = live_mask & ~crashed_mask
+            crashed.append(frozenset(crashing))
+            crashed_masks.append(crashed_mask)
         senders.append(round_senders)
+        sender_masks.append(live_mask)
         completers.append(round_completers)
-        crashed.append(
-            frozenset(pid for pid in range(n) if crash_at[pid] == k)
-        )
+        completer_masks.append(completer_mask)
+        live = round_completers
+        live_mask = completer_mask
         for sender in round_senders:
             sender_crashes_now = crash_at[sender] == k
             for receiver in range(n):
@@ -228,6 +275,9 @@ def _compile(schedule: Schedule) -> CompiledSchedule:
         current_groups=tuple(current_groups),
         delayed_groups=tuple(delayed_groups),
         crashed=tuple(crashed),
+        sender_masks=tuple(sender_masks),
+        completer_masks=tuple(completer_masks),
+        crashed_masks=tuple(crashed_masks),
     )
 
 

@@ -61,20 +61,21 @@ TRACE_MODES = ("full", "lean")
 _NOT_SENT = object()
 
 
-def _round_view_factory(k, n, plan, table, payloads):
+def _round_view_factory(k, n, plan, table, payloads, shared_current,
+                        shared_delayed):
     """One round's view builder, sharing buckets across plan groups.
 
     Returns ``view_for(pid)``; both trace-mode loops drive it, so the
     bucket-sharing and decide-concatenation logic exists exactly once —
     a divergence here would break the byte-identical-across-modes
-    invariant the suite asserts.
+    invariant the suite asserts.  ``shared_current``/``shared_delayed``
+    are the run's preallocated group-bucket maps; the caller clears them
+    between rounds instead of allocating fresh dicts.
     """
     delayed_plan = plan.delayed_inboxes[k]
     current_plan = plan.current_senders[k]
     cgroups = plan.current_groups[k]
     dgroups = plan.delayed_groups[k]
-    shared_current: dict[ProcessId, tuple] = {}
-    shared_delayed: dict[ProcessId, tuple] = {}
 
     def view_for(pid: ProcessId) -> RoundView:
         rep = cgroups[pid]
@@ -174,6 +175,10 @@ def _execute_full(
     # overrides are honored even when an ancestor ported to views.
     legacy_entry = [prefers_legacy_deliver(type(a)) for a in automata]
     records: list[RoundRecord] = []
+    # Preallocated per-run buffers, reset (not reallocated) per round.
+    table = SendTable(n)
+    shared_current: dict[ProcessId, tuple] = {}
+    shared_delayed: dict[ProcessId, tuple] = {}
 
     for k in range(1, horizon + 1):
         sent: dict[ProcessId, object | None] = dict.fromkeys(range(n))
@@ -181,7 +186,7 @@ def _execute_full(
         halted_this_round: set[ProcessId] = set()
 
         # --- send phase ---------------------------------------------------
-        table = SendTable(n)
+        table.reset()
         record_send = table.record
         for pid in plan.senders[k]:
             if pid in halted:
@@ -198,7 +203,11 @@ def _execute_full(
 
         # --- receive phase --------------------------------------------------
         delivered: dict[ProcessId, tuple[Message, ...]] = {}
-        view_for = _round_view_factory(k, n, plan, table, payloads)
+        shared_current.clear()
+        shared_delayed.clear()
+        view_for = _round_view_factory(
+            k, n, plan, table, payloads, shared_current, shared_delayed
+        )
         for pid in plan.completers[k]:
             if pid in halted:
                 continue
@@ -255,11 +264,15 @@ def _execute_lean(
     legacy_entry = [prefers_legacy_deliver(type(a)) for a in automata]
     message_count = 0
     rounds_executed = 0
+    # Preallocated per-run buffers, reset (not reallocated) per round.
+    table = SendTable(n)
+    shared_current: dict[ProcessId, tuple] = {}
+    shared_delayed: dict[ProcessId, tuple] = {}
 
     for k in range(1, horizon + 1):
         rounds_executed = k
 
-        table = SendTable(n)
+        table.reset()
         record_send = table.record
         for pid in plan.senders[k]:
             if pid in halted:
@@ -279,7 +292,11 @@ def _execute_lean(
         # automata consume the shared per-group buckets directly, so
         # the per-round delivery cost is one bucket build per view
         # group plus the automaton logic itself.
-        view_for = _round_view_factory(k, n, plan, table, payloads)
+        shared_current.clear()
+        shared_delayed.clear()
+        view_for = _round_view_factory(
+            k, n, plan, table, payloads, shared_current, shared_delayed
+        )
         for pid in plan.completers[k]:
             if pid in halted:
                 continue

@@ -90,7 +90,12 @@ class Trace:
         return {value for value, _round in self.decisions.values()}
 
     def deciders(self) -> frozenset[ProcessId]:
-        return frozenset(self.decisions)
+        """The processes that decided (memoized — the trace is frozen)."""
+        cached = self.__dict__.get("_deciders_cache")
+        if cached is None:
+            cached = frozenset(self.decisions)
+            object.__setattr__(self, "_deciders_cache", cached)
+        return cached
 
     def global_decision_round(self) -> Round | None:
         """The round at which the run achieves a *global decision*.
@@ -149,6 +154,7 @@ class Trace:
         }
 
     def alive_at_end(self) -> frozenset[ProcessId]:
+        # Schedule.correct is itself memoized, so this is one dict hit.
         return self.schedule.correct
 
     def iter_messages(self) -> Iterator[Message]:
@@ -259,7 +265,12 @@ class LeanTrace:
         return {value for value, _round in self.decisions.values()}
 
     def deciders(self) -> frozenset[ProcessId]:
-        return frozenset(self.decisions)
+        """The processes that decided (memoized — the trace is frozen)."""
+        cached = self.__dict__.get("_deciders_cache")
+        if cached is None:
+            cached = frozenset(self.decisions)
+            object.__setattr__(self, "_deciders_cache", cached)
+        return cached
 
     def global_decision_round(self) -> Round | None:
         if not self.decisions:
@@ -280,6 +291,7 @@ class LeanTrace:
         }
 
     def alive_at_end(self) -> frozenset[ProcessId]:
+        # Schedule.correct is itself memoized, so this is one dict hit.
         return self.schedule.correct
 
     def describe(self) -> str:

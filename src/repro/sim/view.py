@@ -18,8 +18,10 @@ runs:
   tag;
 * ``delayed`` — earlier-round ``(sent_round, sender, payload)`` triples
   whose delayed delivery lands in this round;
-* ``current_senders`` / ``absent`` — the present/absent sender sets the
-  suspicion machinery consumes;
+* ``current_mask`` / ``absent_mask`` — the present/absent sender sets as
+  int bitmasks (the suspicion machinery's working representation), with
+  ``current_senders`` / ``absent`` lazily materializing the interned
+  frozensets for set-consuming call sites;
 * ``decides`` — every DECIDE payload in the delivery, in canonical
   message order, so the universal decide-adoption protocol is one tuple
   iteration instead of a full-inbox scan.
@@ -43,6 +45,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.model.messages import Message, fast_message
+from repro.sim.bitset import full_mask, interned_set
 from repro.types import Payload, ProcessId, Round
 
 __all__ = [
@@ -95,7 +98,10 @@ class RoundView:
             tuple element, or the payload itself for non-tuple payloads).
         decides: every DECIDE payload in the whole delivery (delayed and
             current), in canonical message order.
-        current_senders: the senders of ``current``, as a frozenset.
+        current_mask: the senders of ``current`` as an int bitmask (bit
+            ``i`` set iff process ``i``'s round-k message arrived) — the
+            working representation; :attr:`current_senders` /
+            :attr:`absent` materialize the interned frozensets lazily.
 
     The bucket attributes may be shared between views of different
     receivers with identical delivery plans; views are read-only.
@@ -103,7 +109,8 @@ class RoundView:
 
     __slots__ = (
         "round", "receiver", "n", "delayed", "current", "by_tag",
-        "decides", "current_senders", "_messages", "_absent",
+        "decides", "current_mask", "_messages", "_current_senders",
+        "_absent",
     )
 
     def __init__(
@@ -115,7 +122,7 @@ class RoundView:
         current: tuple[tuple[ProcessId, Payload], ...],
         by_tag: dict,
         decides: tuple[Payload, ...],
-        current_senders: frozenset[ProcessId],
+        current_mask: int,
     ):
         self.round = round
         self.receiver = receiver
@@ -124,8 +131,9 @@ class RoundView:
         self.current = current
         self.by_tag = by_tag
         self.decides = decides
-        self.current_senders = current_senders
+        self.current_mask = current_mask
         self._messages = None
+        self._current_senders = None
         self._absent = None
 
     # -- structured accessors ------------------------------------------------
@@ -139,6 +147,24 @@ class RoundView:
         return all_pids(self.n)
 
     @property
+    def current_senders(self) -> frozenset[ProcessId]:
+        """The senders of ``current`` as an interned frozenset.
+
+        Materialized lazily from :attr:`current_mask` — mask-consuming
+        call sites never pay for the set object.
+        """
+        senders = self._current_senders
+        if senders is None:
+            senders = self._current_senders = interned_set(self.current_mask)
+        return senders
+
+    @property
+    def absent_mask(self) -> int:
+        """:attr:`absent` as a bitmask — the complement of
+        :attr:`current_mask` within the n-process universe."""
+        return full_mask(self.n) & ~self.current_mask
+
+    @property
     def absent(self) -> frozenset[ProcessId]:
         """Processes from which no current-round message arrived.
 
@@ -148,7 +174,7 @@ class RoundView:
         """
         absent = self._absent
         if absent is None:
-            absent = self._absent = all_pids(self.n) - self.current_senders
+            absent = self._absent = interned_set(self.absent_mask)
         return absent
 
     @property
@@ -201,7 +227,7 @@ class RoundView:
         current: list = []
         by_tag: dict = {}
         decides: list = []
-        senders: list = []
+        sender_mask = 0
         for sent_round, sender, payload in entries:
             if isinstance(payload, tuple) and payload:
                 tag = payload[0]
@@ -210,7 +236,7 @@ class RoundView:
             else:
                 tag = payload
             if sent_round == round:
-                senders.append(sender)
+                sender_mask |= 1 << sender
                 item = (sender, payload)
                 current.append(item)
                 bucket = by_tag.get(tag)
@@ -224,7 +250,7 @@ class RoundView:
             round, receiver, n,
             tuple(delayed), tuple(current),
             {tag: tuple(items) for tag, items in by_tag.items()},
-            tuple(decides), frozenset(senders),
+            tuple(decides), sender_mask,
         )
 
     @classmethod
@@ -273,7 +299,7 @@ class RoundView:
                 for sent_round, sender, payload in self.delayed
                 if sent_round > offset
             ),
-            self.current, self.by_tag, (), self.current_senders,
+            self.current, self.by_tag, (), self.current_mask,
         )
 
     def __repr__(self) -> str:
@@ -290,14 +316,20 @@ class SendTable:
     every process that actually broadcast, the interned ``(sender,
     payload)`` item and the payload tag; plus three round-level facts
     the bucket builders use for their fast paths — the broadcaster
-    frozenset, whether the whole round carries a single tag, and whether
-    any broadcast is a DECIDE announcement.  All of it is a pure
-    function of the round's sends, so every receiver shares one table.
+    bitmask (and its interned frozenset), whether the whole round
+    carries a single tag, and whether any broadcast is a DECIDE
+    announcement.  All of it is a pure function of the round's sends, so
+    every receiver shares one table.
+
+    The table is a preallocated per-run buffer: the kernel allocates one
+    per execution and calls :meth:`reset` between rounds, which clears
+    only the slots the previous round touched (walking the sender mask),
+    so a sparse round costs O(broadcasters), not O(n).
     """
 
     __slots__ = (
-        "items", "tags", "is_decide", "count", "senders", "single_tag",
-        "has_decides",
+        "items", "tags", "is_decide", "count", "sender_mask", "senders",
+        "single_tag", "has_decides",
     )
 
     def __init__(self, n: int):
@@ -305,13 +337,15 @@ class SendTable:
         self.tags: list = [None] * n       # payload tag, for senders
         self.is_decide: list = [False] * n
         self.count = 0                      # number of broadcasters
-        self.senders: frozenset = frozenset()
+        self.sender_mask = 0                # broadcasters as a bitmask
+        self.senders: frozenset = interned_set(0)
         self.single_tag = None              # the round's tag, if unique
         self.has_decides = False
 
     def record(self, sender: ProcessId, payload: Payload) -> None:
         """Note that *sender* broadcast *payload* this round."""
         self.items[sender] = (sender, payload)
+        self.sender_mask |= 1 << sender
         if isinstance(payload, tuple) and payload:
             tag = payload[0]
             if tag == _DECIDE:
@@ -327,40 +361,61 @@ class SendTable:
         self.count += 1
 
     def seal(self) -> None:
-        """Finalize after the send phase (computes the sender set)."""
-        self.senders = frozenset(
-            sender for sender, item in enumerate(self.items)
-            if item is not None
-        )
+        """Finalize after the send phase (interns the sender set)."""
+        self.senders = interned_set(self.sender_mask)
+
+    def reset(self) -> None:
+        """Clear for the next round, touching only last round's slots."""
+        mask = self.sender_mask
+        if mask:
+            items = self.items
+            tags = self.tags
+            is_decide = self.is_decide
+            while mask:
+                low = mask & -mask
+                sender = low.bit_length() - 1
+                items[sender] = None
+                tags[sender] = None
+                is_decide[sender] = False
+                mask ^= low
+        self.count = 0
+        self.sender_mask = 0
+        self.senders = interned_set(0)
+        self.single_tag = None
+        self.has_decides = False
 
 
 def build_current_buckets(
     current_plan: Sequence[ProcessId], table: SendTable
 ) -> tuple:
     """One current-group's shared buckets: ``(current, by_tag, decides,
-    current_senders)``.
+    current_mask)``.
 
     *current_plan* is the compiled ascending sender list for one
     receiver group; senders that never broadcast (halted) drop out via
-    the table.  The common round shape — every broadcast carries the
-    same tag, none of them a DECIDE — collapses to a single filtered
-    copy of the table's items; mixed rounds (coordinator phases, decide
-    announcements) take the general partitioning path.
+    the table.  The sender set travels as a bitmask — the
+    :class:`RoundView` interns the frozenset only on demand.  The common
+    round shape — every broadcast carries the same tag, none of them a
+    DECIDE — collapses to a single filtered copy of the table's items;
+    mixed rounds (coordinator phases, decide announcements) take the
+    general partitioning path.
     """
     items = table.items
     current = [
         item for s in current_plan if (item := items[s]) is not None
     ]
     if not current:
-        return ((), {}, (), frozenset())
+        return ((), {}, (), 0)
     current = tuple(current)
     if len(current) == table.count:
-        senders = table.senders
+        sender_mask = table.sender_mask
     else:
-        senders = frozenset(item[0] for item in current)
+        sender_mask = 0
+        for item in current:
+            sender_mask |= 1 << item[0]
     single_tag = table.single_tag
     if single_tag is not None and not table.has_decides:
-        return (current, {single_tag: current}, (), senders)
+        return (current, {single_tag: current}, (), sender_mask)
     tags = table.tags
     is_decide = table.is_decide
     by_tag: dict = {}
@@ -379,7 +434,7 @@ def build_current_buckets(
         current,
         {tag: tuple(bucket) for tag, bucket in by_tag.items()},
         tuple(decides),
-        senders,
+        sender_mask,
     )
 
 

@@ -58,6 +58,14 @@ def _samples_from_env(default: int = 200) -> int:
 SAMPLES = _samples_from_env()
 MASTER_SEED = 20260730
 
+#: Cranked lanes (nightly: thousands of samples) also probe the bitset
+#: data plane at sweep scale: a slice of the sample budget re-runs as
+#: n = 250 schedules, catching width-dependent bugs (mask handling,
+#: interning) that no n <= 7 schedule can reach.  Safety, not
+#: termination, is asserted, so the short stock horizons stay valid.
+XXL_THRESHOLD = 500
+XXL_SAMPLES = max(2, SAMPLES // 250)
+
 
 def _grid_for(name: str) -> GridSpec:
     info = available_algorithms()[name]
@@ -134,6 +142,53 @@ def test_safety_never_breaks_on_random_schedules(name):
         f"{name} broke agreement/validity on {len(violations)} of "
         f"{SAMPLES} schedules (master seed {MASTER_SEED}); failing cases "
         f"(label embeds the generator seed): "
+        + ", ".join(record.workload for record in violations[:10])
+        + (
+            f"; schedules exported to {exported}/"
+            if exported
+            else "; schedule export FAILED — regenerate from the seeds"
+        )
+    )
+
+
+def _xxl_grid_for(name: str) -> GridSpec:
+    """An n = 250 sibling of :func:`_grid_for` (distinct master seed, so
+    the two tiers never share schedules)."""
+    info = available_algorithms()[name]
+    if info.model == "SCS":
+        fam = family("random_scs", "random_scs",
+                     count=XXL_SAMPLES, horizon=8)
+    else:
+        fam = family("random_es", "random_es",
+                     count=XXL_SAMPLES, horizon=12)
+    return GridSpec(
+        n=250,
+        t=32,
+        algorithms=(name,),
+        families=(fam,),
+        seed=MASTER_SEED + 1,
+        proposal_mode="random",
+    )
+
+
+@pytest.mark.parametrize("name", sorted(available_algorithms()))
+def test_safety_never_breaks_at_xxl_scale(name):
+    if SAMPLES <= XXL_THRESHOLD:
+        pytest.skip(
+            "n=250 property cases run only in cranked lanes "
+            f"(REPRO_PROPERTY_SAMPLES > {XXL_THRESHOLD})"
+        )
+    from repro.engine import ProcessExecutor
+
+    grid = _xxl_grid_for(name)
+    result = run_batch(grid, executor=ProcessExecutor())
+    assert result.case_count == XXL_SAMPLES
+    violations = result.violations()
+    exported = _export_violations(grid, violations) if violations else None
+    assert not violations, (
+        f"{name} broke agreement/validity on {len(violations)} of "
+        f"{XXL_SAMPLES} n=250 schedules (master seed {MASTER_SEED + 1}); "
+        f"failing cases (label embeds the generator seed): "
         + ", ".join(record.workload for record in violations[:10])
         + (
             f"; schedules exported to {exported}/"

@@ -1,0 +1,237 @@
+"""Tests for the record-streaming path: sinks, spools and recovery.
+
+The contract under test (:mod:`repro.engine.sink`,
+:func:`repro.engine.runner.stream_batch`,
+:meth:`repro.engine.results.BatchResult.load_spool`): a sweep streamed
+to an append-only JSONL spool rebuilds into a :class:`BatchResult` —
+and a ``--json`` export — byte-identical to the in-memory path; a spool
+left by a killed driver loads as a clean partial result (torn tail
+dropped, everything durable kept); and spools feed the same merge
+machinery as exports, overlap rejection included.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    BatchResult,
+    Case,
+    GridSpec,
+    JsonlRecordSink,
+    RecordSink,
+    family,
+    read_spool,
+    run_batch,
+    stream_batch,
+)
+from repro.model.schedule import Schedule
+
+
+def _grid(seed=7, count=4):
+    return GridSpec(
+        n=5,
+        t=2,
+        algorithms=("att2", "floodset"),
+        families=(family("random_es", "random_es", count=count, horizon=10),),
+        seed=seed,
+        proposal_mode="random",
+    )
+
+
+def _spooled(tmp_path, grid, name="spool.jsonl"):
+    path = str(tmp_path / name)
+    sink = JsonlRecordSink(path)
+    try:
+        count = stream_batch(grid, sink=sink)
+    finally:
+        sink.close()
+    return path, count
+
+
+class TestSpoolRoundTrip:
+    def test_rebuilt_result_is_byte_identical(self, tmp_path):
+        grid = _grid()
+        in_memory = run_batch(grid)
+        path, count = _spooled(tmp_path, grid)
+        rebuilt = BatchResult.load_spool(path)
+        assert count == in_memory.case_count
+        assert rebuilt.to_json(indent=2) == in_memory.to_json(indent=2)
+
+    def test_saved_export_is_byte_identical(self, tmp_path):
+        grid = _grid()
+        mem_path = str(tmp_path / "mem.json")
+        spool_export = str(tmp_path / "spooled.json")
+        run_batch(grid).save(mem_path)
+        path, _count = _spooled(tmp_path, grid)
+        BatchResult.load_spool(path).save(spool_export)
+        with open(mem_path, "rb") as a, open(spool_export, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_load_sniffs_spools_transparently(self, tmp_path):
+        # BatchResult.load accepts both formats at one entry point, so
+        # `repro merge` can mix shard exports and spools freely.
+        grid = _grid()
+        path, _count = _spooled(tmp_path, grid)
+        assert BatchResult.load(path).records == run_batch(grid).records
+
+    def test_spool_lines_are_canonical_json(self, tmp_path):
+        path, count = _spooled(tmp_path, grid := _grid())
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == count == grid.case_count
+        for line in lines:
+            assert line == json.dumps(json.loads(line), sort_keys=True)
+
+    def test_sink_satisfies_protocol(self, tmp_path):
+        sink = JsonlRecordSink(str(tmp_path / "s.jsonl"))
+        try:
+            assert isinstance(sink, RecordSink)
+        finally:
+            sink.close()
+
+
+class TestMergeAfterStream:
+    def test_sharded_spools_merge_to_whole_grid(self, tmp_path):
+        from repro.engine import ShardSpec
+
+        grid = _grid()
+        paths = []
+        for index in range(2):
+            path = str(tmp_path / f"shard{index}.jsonl")
+            sink = JsonlRecordSink(path)
+            try:
+                stream_batch(grid, sink=sink,
+                             shard=ShardSpec(index=index, count=2))
+            finally:
+                sink.close()
+            paths.append(path)
+        merged = BatchResult.merge(
+            [BatchResult.load(path) for path in reversed(paths)]
+        )
+        assert merged.to_json() == run_batch(grid).to_json()
+
+    def test_overlapping_spools_are_rejected(self, tmp_path):
+        grid = _grid()
+        first, _ = _spooled(tmp_path, grid, "a.jsonl")
+        second, _ = _spooled(tmp_path, grid, "b.jsonl")
+        with pytest.raises(ValueError, match="shards overlap"):
+            BatchResult.merge(
+                [BatchResult.load(first), BatchResult.load(second)]
+            )
+
+    def test_double_streamed_spool_is_rejected_at_load(self, tmp_path):
+        # Appending one grid to a spool twice duplicates every case
+        # index; the spool must refuse to load rather than double-count.
+        path, _ = _spooled(tmp_path, _grid())
+        sink = JsonlRecordSink(path)
+        try:
+            stream_batch(_grid(), sink=sink)
+        finally:
+            sink.close()
+        with pytest.raises(ValueError, match="shards overlap"):
+            BatchResult.load_spool(path)
+
+
+class TestKilledDriverRecovery:
+    def test_torn_tail_loads_as_clean_partial(self, tmp_path):
+        # A driver killed mid-write leaves a truncated final line; the
+        # spool must recover every complete record and drop the tail.
+        grid = _grid()
+        path, count = _spooled(tmp_path, grid)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        torn = str(tmp_path / "torn.jsonl")
+        with open(torn, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines[:-1]) + "\n")
+            handle.write(lines[-1][: len(lines[-1]) // 2])
+        partial = BatchResult.load_spool(torn)
+        assert partial.case_count == count - 1
+        whole = run_batch(grid)
+        assert partial.records == whole.records[:-1]
+
+    def test_corruption_before_the_tail_is_an_error(self, tmp_path):
+        # Only the *final* line may be torn — a malformed line with
+        # records after it means real corruption, not a kill.
+        path, _ = _spooled(tmp_path, _grid())
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        corrupt = str(tmp_path / "corrupt.jsonl")
+        with open(corrupt, "w", encoding="utf-8") as handle:
+            handle.write(lines[0][:20] + "\n")
+            handle.write("\n".join(lines[1:]) + "\n")
+        with pytest.raises(ValueError, match=r":1: malformed"):
+            list(read_spool(corrupt))
+
+    def test_empty_spool_is_an_empty_result(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert BatchResult.load_spool(str(path)).case_count == 0
+
+
+class TestStreamBatchBoundsMemory:
+    def test_run_cases_collect_false_returns_nothing(self, tmp_path):
+        from repro.engine import run_cases
+
+        case = Case(
+            index=0,
+            algorithm="att2",
+            workload="ff",
+            schedule=Schedule.failure_free(3, 1, 8),
+            proposals=(0, 1, 2),
+        )
+        sink = JsonlRecordSink(str(tmp_path / "one.jsonl"))
+        try:
+            assert run_cases([case], sink=sink, collect=False) == []
+        finally:
+            sink.close()
+        (record,) = read_spool(str(tmp_path / "one.jsonl"))
+        assert record.algorithm == "att2"
+
+    def test_stream_batch_counts_and_appends_everything(self, tmp_path):
+        grid = _grid(count=3)
+        seen = []
+        path = str(tmp_path / "counted.jsonl")
+        sink = JsonlRecordSink(path)
+        try:
+            count = stream_batch(
+                grid, sink=sink,
+                on_record=lambda index, record: seen.append(index),
+            )
+        finally:
+            sink.close()
+        assert count == grid.case_count == sink.count
+        assert sorted(seen) == list(range(grid.case_count))
+        assert BatchResult.load_spool(path).case_count == grid.case_count
+
+    def test_orchestrate_streams_accepted_shards(self, tmp_path):
+        # The orchestrator appends each shard's records as the shard
+        # merges; by completion the spool equals the merged result.
+        from repro.engine.orchestrator import local_workers, orchestrate
+
+        grid = _grid()
+
+        class GridBackend:
+            async def run_shard(self, worker, shard, attempt):
+                return run_batch(grid, shard=shard)
+
+            async def warm(self, worker):
+                pass
+
+            async def probe(self, worker):
+                return True
+
+        path = str(tmp_path / "orch.jsonl")
+        sink = JsonlRecordSink(path)
+        try:
+            report = orchestrate(
+                local_workers(2), GridBackend(), 3,
+                backoff=0.01, heartbeat=None, sink=sink,
+            )
+        finally:
+            sink.close()
+        assert report.complete
+        assert (
+            BatchResult.load_spool(path).to_json()
+            == report.result.to_json()
+        )
