@@ -18,4 +18,6 @@ setup(
     python_requires=">=3.10",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    # PEP 561: ship the inline annotations to downstream type checkers.
+    package_data={"repro": ["py.typed"]},
 )

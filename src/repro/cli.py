@@ -874,6 +874,12 @@ def _cmd_grid(args) -> int:
     return handlers[args.grid_command](args)
 
 
+def _cmd_lint(args) -> int:
+    from repro.devtools.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_experiments(_args) -> int:
     from repro.analysis.experiments import all_experiments
 
@@ -1122,6 +1128,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="grid files and/or directories containing *.json grids",
     )
 
+    lint_parser = sub.add_parser(
+        "lint",
+        help="AST lint the tree against the repo's determinism, bitset, "
+             "pickle and executor invariants",
+    )
+    from repro.devtools.cli import add_lint_arguments
+    add_lint_arguments(lint_parser)
+
     cache_parser = sub.add_parser(
         "cache",
         help="inspect or collect a result-cache directory",
@@ -1162,6 +1176,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "merge": _cmd_merge,
         "grid": _cmd_grid,
         "cache": _cmd_cache,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,119 @@
+"""Committed finding baseline: new rules land without blocking CI.
+
+A new rule usually surfaces legacy findings that are real but not worth
+fixing in the same PR that introduces the rule.  The baseline records
+those as *allowed debt*: ``repro lint`` subtracts baselined findings
+from its report, so CI gates only on findings that are **new** relative
+to the committed file (``lint-baseline.json`` at the repo root).
+
+Keys are position-independent — ``path::CODE::stripped-source-line`` —
+with an allowance *count* per key, so reformatting or moving a line does
+not churn the file, while adding a second identical violation on the
+same line-text does fail the gate.  The file is canonical JSON (sorted
+keys, fixed indent): regenerating it from an unchanged tree is a no-op
+diff.
+
+Workflow::
+
+    repro lint src/ --baseline lint-baseline.json               # gate
+    repro lint src/ --baseline lint-baseline.json --update-baseline
+    repro lint src/ --no-baseline            # nightly: show all debt
+
+The nightly lane runs with the baseline ignored so the debt stays
+visible; shrinking the baseline is always welcome, growing it needs a
+reviewed ``--update-baseline`` commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Sequence
+
+from repro.devtools.findings import Finding
+
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """An allowance multiset of finding keys, persisted as JSON."""
+
+    def __init__(self, entries: dict[str, int] | None = None) -> None:
+        self.entries: dict[str, int] = dict(entries or {})
+
+    # ------------------------------------------------------------------
+    # Persistence
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline, a
+        malformed one is an error (a truncated baseline silently waving
+        findings through would defeat the gate)."""
+        if not os.path.exists(path):
+            return cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != _FORMAT_VERSION
+            or not isinstance(data.get("entries"), dict)
+        ):
+            raise ValueError(
+                f"{path}: not a version-{_FORMAT_VERSION} lint baseline"
+            )
+        entries: dict[str, int] = {}
+        for key, count in data["entries"].items():
+            if not isinstance(key, str) or not isinstance(count, int):
+                raise ValueError(f"{path}: malformed entry {key!r}")
+            if count > 0:
+                entries[key] = count
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        data = {
+            "version": _FORMAT_VERSION,
+            "entries": dict(sorted(self.entries.items())),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries: dict[str, int] = {}
+        for finding in findings:
+            key = finding.key()
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries)
+
+    # ------------------------------------------------------------------
+    # Filtering
+
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], int]:
+        """Split *findings* into (kept, baselined-count).
+
+        Each key absorbs at most its allowance count; findings beyond
+        the allowance — or with no entry at all — are kept and fail the
+        gate.
+        """
+        remaining = dict(self.entries)
+        kept: list[Finding] = []
+        baselined = 0
+        for finding in findings:
+            key = finding.key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined += 1
+            else:
+                kept.append(finding)
+        return kept, baselined
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Baseline):
+            return NotImplemented
+        return self.entries == other.entries

@@ -1,0 +1,173 @@
+"""``repro lint`` — the command-line face of :mod:`repro.devtools`.
+
+Argument wiring lives in :mod:`repro.cli` next to the other
+subcommands; this module owns the behavior so tests can drive it
+without a subprocess.
+
+Exit codes: 0 clean (after noqa + baseline filtering), 1 findings,
+2 usage error (unknown path, unknown rule code, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Sequence, TextIO
+
+from repro.devtools.analyzer import LintReport, lint_paths
+from repro.devtools.baseline import Baseline
+from repro.devtools.rules import Rule, all_rules
+
+#: Default baseline location, relative to the invocation directory
+#: (the repo root in CI and the tier-1 self-check).
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _make_select(codes: str | None) -> Callable[[Rule], bool] | None:
+    """Build a rule predicate from a ``--select DET001,BIT002`` string."""
+    if codes is None:
+        return None
+    wanted = frozenset(
+        code.strip().upper() for code in codes.split(",") if code.strip()
+    )
+    known = {rule.code for rule in all_rules()}
+    unknown = sorted(wanted - known)
+    if unknown:
+        raise SystemExit(
+            f"repro lint: unknown rule code(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return lambda rule: rule.code in wanted
+
+
+def _print_rules(stream: TextIO) -> None:
+    for rule in all_rules():
+        scope = "everywhere" if rule.domains is None else (
+            ", ".join(rule.domains)
+        )
+        stream.write(f"{rule.code}  {rule.name}  [{scope}]\n")
+        stream.write(f"    {rule.rationale}\n")
+
+
+def _print_report(report: LintReport, stream: TextIO) -> None:
+    for finding in report.findings:
+        stream.write(finding.describe() + "\n")
+    counts = report.counts_by_code()
+    summary = ", ".join(f"{code}: {n}" for code, n in counts.items())
+    if report.findings:
+        stream.write(
+            f"{len(report.findings)} finding(s) in "
+            f"{report.files_checked} file(s)"
+            + (f" ({summary})" if summary else "")
+            + (
+                f"; {report.baselined} baselined"
+                if report.baselined
+                else ""
+            )
+            + "\n"
+        )
+    else:
+        stream.write(
+            f"clean: {report.files_checked} file(s)"
+            + (
+                f", {report.baselined} baselined finding(s)"
+                if report.baselined
+                else ""
+            )
+            + "\n"
+        )
+
+
+def run_lint(
+    args: argparse.Namespace, stream: TextIO | None = None
+) -> int:
+    """Execute ``repro lint`` for parsed *args*; returns the exit code."""
+    out = stream if stream is not None else sys.stdout
+    if args.list_rules:
+        _print_rules(out)
+        return 0
+
+    try:
+        select = _make_select(args.select)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    baseline: Baseline | None = None
+    if not args.no_baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        if args.update_baseline:
+            # Regenerate allowances from the tree as it stands: lint
+            # without the old baseline, persist every finding as debt.
+            raw = lint_paths(args.paths, baseline=None, select=select)
+            Baseline.from_findings(raw.findings).save(args.baseline)
+            out.write(
+                f"baseline updated: {args.baseline} now allows "
+                f"{len(raw.findings)} finding(s)\n"
+            )
+            return 0
+        report = lint_paths(args.paths, baseline=baseline, select=select)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_data(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    _print_report(report, out)
+    return 0 if report.clean else 1
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach ``repro lint``'s arguments to its subparser."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files and/or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json", dest="json_out", metavar="FILE", default=None,
+        help="also write the machine-readable report to FILE",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="FILE",
+        help="allowed-findings file (default: %(default)s; a missing "
+             "file is an empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline and report all findings (nightly mode)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to allow exactly the current findings",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.devtools.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST lint for the repro codebase's invariants",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

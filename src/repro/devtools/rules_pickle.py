@@ -1,0 +1,143 @@
+"""PKL rules: pickle hygiene for slots classes crossing the pool boundary.
+
+The process-pool backends ship cases, schedules and records between
+workers as pickles.  Two slots-related traps have already cost this repo
+real bugs (PR 5's ``Message`` port):
+
+* A ``dataclass(slots=True)`` that is also ``frozen`` has no instance
+  ``__dict__`` for pickle's default state protocol, and on Python 3.10
+  the frozen ``__setattr__`` rejects the fallback slot restoration —
+  the class pickles on 3.12 and explodes on 3.10.  **PKL001** requires
+  every slots dataclass in the pickle-crossing packages to define
+  ``__getstate__`` *and* ``__setstate__`` explicitly (the
+  ``model/messages.py`` idiom).
+* A hand-slotted class defining only one of the pair gets the default
+  behavior for the other half, which silently mismatches the custom
+  half's state shape.  **PKL002** requires the pair to be complete.
+  (Dict-backed classes defining only ``__getstate__`` to *strip memo
+  caches* — ``Schedule``'s ``CompiledSchedule`` memo — are fine: the
+  default ``__setstate__`` restores a dict state correctly.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.rules import (
+    LintContext,
+    PICKLE_DOMAINS,
+    Rule,
+    register_rule,
+)
+
+
+def _is_slots_dataclass(node: ast.ClassDef) -> bool:
+    """True iff the class is decorated ``@dataclass(..., slots=True)``."""
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if keyword.arg == "slots" and isinstance(
+                keyword.value, ast.Constant
+            ):
+                return bool(keyword.value.value)
+    return False
+
+
+def _has_dunder_slots(node: ast.ClassDef) -> bool:
+    for statement in node.body:
+        targets: list[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, ast.AnnAssign):
+            targets = [statement.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def _defined_methods(node: ast.ClassDef) -> frozenset[str]:
+    return frozenset(
+        statement.name
+        for statement in node.body
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+
+
+@register_rule
+class SlotsDataclassWithoutStateProtocol(Rule):
+    code = "PKL001"
+    name = "slots-dataclass-state"
+    rationale = (
+        "A frozen dataclass(slots=True) has no __dict__ for pickle's "
+        "default state protocol and fails slot restoration on Python "
+        "3.10; classes crossing the executor boundary must define "
+        "__getstate__ AND __setstate__ explicitly (the model/messages.py "
+        "idiom) so pickling behaves identically on every supported "
+        "interpreter."
+    )
+    node_types = (ast.ClassDef,)
+    domains = PICKLE_DOMAINS
+
+    def check(
+        self, node: ast.AST, ctx: LintContext
+    ) -> Iterable[tuple[ast.AST, str]]:
+        assert isinstance(node, ast.ClassDef)
+        if not _is_slots_dataclass(node):
+            return
+        methods = _defined_methods(node)
+        missing = [
+            name
+            for name in ("__getstate__", "__setstate__")
+            if name not in methods
+        ]
+        if missing:
+            yield node, (
+                f"dataclass(slots=True) {node.name} must define "
+                f"{' and '.join(missing)} for 3.10-safe pickling across "
+                f"the executor boundary"
+            )
+
+
+@register_rule
+class HalfStateProtocolOnSlotsClass(Rule):
+    code = "PKL002"
+    name = "half-state-protocol"
+    rationale = (
+        "A __slots__ class defining only one of __getstate__ / "
+        "__setstate__ pairs custom state with default restoration (or "
+        "vice versa); the state shapes silently mismatch and the class "
+        "unpickles corrupt or not at all. Define both, or neither."
+    )
+    node_types = (ast.ClassDef,)
+    domains = PICKLE_DOMAINS
+
+    def check(
+        self, node: ast.AST, ctx: LintContext
+    ) -> Iterable[tuple[ast.AST, str]]:
+        assert isinstance(node, ast.ClassDef)
+        if _is_slots_dataclass(node):
+            return  # PKL001's stricter check owns dataclasses
+        if not _has_dunder_slots(node):
+            return  # dict-backed: default half-protocols compose fine
+        methods = _defined_methods(node)
+        has_get = "__getstate__" in methods
+        has_set = "__setstate__" in methods
+        if has_get != has_set:
+            present = "__getstate__" if has_get else "__setstate__"
+            absent = "__setstate__" if has_get else "__getstate__"
+            yield node, (
+                f"__slots__ class {node.name} defines {present} without "
+                f"{absent}; the default other half mismatches the custom "
+                f"state shape — define both"
+            )

@@ -50,6 +50,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import asdict, replace
 from pathlib import Path
+from typing import Iterator, cast
 
 try:  # POSIX advisory locking for the shared stats sidecar
     import fcntl
@@ -75,7 +76,7 @@ _STAT_KEYS = ("hits", "misses", "deduped", "store_failures", "sweeps")
 
 
 @contextmanager
-def _stats_lock(root: "Path"):
+def _stats_lock(root: "Path") -> Iterator[None]:
     """Serialize read-modify-write cycles on the stats sidecar.
 
     Uses an ``flock`` on a dedicated ``stats.json.lock`` file (the lock
@@ -154,7 +155,7 @@ def _is_entry_path(path: "Path") -> bool:
     return True
 
 
-def _entry_paths(root: "Path"):
+def _entry_paths(root: "Path") -> Iterator[Path]:
     """All cache-entry files under *root* (shape-filtered, see above)."""
     return (
         path for path in root.glob("??/*.json") if _is_entry_path(path)
@@ -393,7 +394,9 @@ class ResultCache:
 
     # -- lookup / store ----------------------------------------------------
 
-    def lookup(self, case: Case, key=_MISSING) -> SweepRecord | None:
+    def lookup(
+        self, case: Case, key: "str | None | object" = _MISSING
+    ) -> SweepRecord | None:
         """The cached record for *case*, re-stamped with its label and index.
 
         Returns ``None`` — and counts a miss — when the entry is absent or
@@ -402,8 +405,9 @@ class ResultCache:
         Callers that already derived the case's key (the runner's
         partition loop) pass it to skip recomputation.
         """
-        if key is _MISSING:
-            key = self.case_key(case)
+        key = self.case_key(case) if key is _MISSING else cast(
+            "str | None", key
+        )
         if key is None:
             return None
         record = self._load(key)
@@ -420,7 +424,12 @@ class ResultCache:
             pass  # read-only share / entry raced away — hit still counts
         return replace(record, workload=case.workload, case_index=case.index)
 
-    def store(self, case: Case, record: SweepRecord, key=_MISSING) -> None:
+    def store(
+        self,
+        case: Case,
+        record: SweepRecord,
+        key: "str | None | object" = _MISSING,
+    ) -> None:
         """Persist *record* under *case*'s key (no-op when uncacheable).
 
         Write failures (read-only directory, full disk) are swallowed and
@@ -428,8 +437,9 @@ class ResultCache:
         only time, never to abort a sweep whose compute already happened.
         A pre-derived *key* may be passed to skip recomputation.
         """
-        if key is _MISSING:
-            key = self.case_key(case)
+        key = self.case_key(case) if key is _MISSING else cast(
+            "str | None", key
+        )
         if key is None:
             return
         path = self._entry_path(key)

@@ -181,8 +181,12 @@ class ThreadExecutor:
         if workers <= 1 or len(cases) < 2:
             yield from SerialExecutor().map_cases(cases)
             return
+        # Drain inside the with block: yielding lazily from inside the
+        # context would keep the pool alive until GC whenever a consumer
+        # abandons the iterator mid-stream (ORC003, the PR 6 bug class).
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            yield from pool.map(execute_case, cases)
+            drained = list(pool.map(execute_case, cases))
+        yield from drained
 
 
 def resolve_executor(backend: str, *, workers: int | None = None) -> Executor:

@@ -137,7 +137,7 @@ async def _run_process(
     )
     killer = None
     if kill_after is not None:
-        async def _kill_later():
+        async def _kill_later() -> None:
             await asyncio.sleep(kill_after)
             if proc.returncode is None:
                 proc.kill()

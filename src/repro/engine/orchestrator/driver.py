@@ -226,7 +226,7 @@ async def orchestrate_async(
     if len(names) != len(set(names)):
         raise OrchestratorError(f"duplicate worker names in {names}")
 
-    def emit(kind: str, detail: str, **where) -> None:
+    def emit(kind: str, detail: str, **where: object) -> None:
         if on_event is not None:
             on_event(OrchestratorEvent(kind=kind, detail=detail, **where))
 

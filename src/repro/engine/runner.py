@@ -47,7 +47,7 @@ from __future__ import annotations
 import warnings
 from collections import Counter
 from dataclasses import replace
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, cast
 
 from repro.analysis.sweep import SweepRecord
 from repro.engine.cases import Case
@@ -102,7 +102,9 @@ def _check_unique_indices(cases: Sequence[Case]) -> None:
         )
 
 
-def _resolve_backend(executor: Executor | None, workers) -> Executor:
+def _resolve_backend(
+    executor: Executor | None, workers: "int | None | object"
+) -> Executor:
     """The executor to run on, honoring the deprecated ``workers=`` shim.
 
     ``stacklevel=3`` attributes the warning to whoever called
@@ -121,7 +123,7 @@ def _resolve_backend(executor: Executor | None, workers) -> Executor:
             DeprecationWarning,
             stacklevel=3,
         )
-        return executor_from_workers(workers)
+        return executor_from_workers(cast("int | None", workers))
     return executor if executor is not None else SerialExecutor()
 
 
@@ -129,7 +131,7 @@ def run_cases(
     cases: Iterable[Case],
     *,
     executor: Executor | None = None,
-    workers=_UNSET,
+    workers: "int | None | object" = _UNSET,
     on_record: OnRecord | None = None,
     cache: "ResultCache | None" = None,
     trace: str | None = None,
@@ -236,7 +238,7 @@ def run_batch(
     grid: GridSpec | Iterable[Case],
     *,
     executor: Executor | None = None,
-    workers=_UNSET,
+    workers: "int | None | object" = _UNSET,
     shard: ShardSpec | None = None,
     on_record: OnRecord | None = None,
     cache: "ResultCache | None" = None,

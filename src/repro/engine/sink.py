@@ -99,7 +99,7 @@ class JsonlRecordSink:
     def __enter__(self) -> "JsonlRecordSink":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 

@@ -57,7 +57,7 @@ from dataclasses import dataclass
 from functools import cached_property
 
 from repro.model.schedule import Schedule
-from repro.sim.bitset import mask_of
+from repro.sim.bitset import interned_set, mask_of
 from repro.types import ProcessId, Round
 
 __all__ = ["CompiledSchedule", "compile_schedule"]
@@ -201,7 +201,7 @@ def _compile(schedule: Schedule) -> CompiledSchedule:
                 pid for pid in live if crash_at[pid] > k
             )
             completer_mask = live_mask & ~crashed_mask
-            crashed.append(frozenset(crashing))
+            crashed.append(interned_set(crashed_mask))
             crashed_masks.append(crashed_mask)
         senders.append(round_senders)
         sender_masks.append(live_mask)

@@ -36,13 +36,18 @@ schedule obeys SCS or ES is checked separately by the validators in
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
-from repro.algorithms.base import Automaton, prefers_legacy_deliver
+from repro.algorithms.base import (
+    AlgorithmFactory,
+    Automaton,
+    prefers_legacy_deliver,
+)
 from repro.errors import SimulationError
 from repro.model.messages import DUMMY, Message, sort_delivery
 from repro.model.schedule import Schedule
-from repro.sim.compiled import compile_schedule
+from repro.sim.bitset import interned_set, mask_of
+from repro.sim.compiled import CompiledSchedule, compile_schedule
 from repro.sim.trace import AnyTrace, LeanTrace, RoundRecord, Trace
 from repro.sim.view import (
     RoundView,
@@ -50,7 +55,7 @@ from repro.sim.view import (
     build_current_buckets,
     build_delayed_buckets,
 )
-from repro.types import ProcessId, Round, Value
+from repro.types import Payload, ProcessId, Round, Value
 
 #: The supported ``trace=`` modes, in documentation order.
 TRACE_MODES = ("full", "lean")
@@ -61,8 +66,15 @@ TRACE_MODES = ("full", "lean")
 _NOT_SENT = object()
 
 
-def _round_view_factory(k, n, plan, table, payloads, shared_current,
-                        shared_delayed):
+def _round_view_factory(
+    k: Round,
+    n: int,
+    plan: CompiledSchedule,
+    table: SendTable,
+    payloads: Sequence[Sequence[Payload]],
+    shared_current: dict[ProcessId, tuple],
+    shared_delayed: dict[ProcessId, tuple],
+) -> Callable[[ProcessId], RoundView]:
     """One round's view builder, sharing buckets across plan groups.
 
     Returns ``view_for(pid)``; both trace-mode loops drive it, so the
@@ -163,7 +175,12 @@ def execute(
 
 
 def _execute_full(
-    automata, schedule, plan, horizon, stop_when_quiescent, proposals
+    automata: Sequence[Automaton],
+    schedule: Schedule,
+    plan: CompiledSchedule,
+    horizon: Round,
+    stop_when_quiescent: bool,
+    proposals: tuple[Value, ...],
 ) -> Trace:
     n = schedule.n
     halted: set[ProcessId] = set()
@@ -236,7 +253,7 @@ def _execute_full(
                 delivered=delivered,
                 decided=decided_this_round,
                 crashed=plan.crashed[k],
-                halted=frozenset(halted_this_round),
+                halted=interned_set(mask_of(halted_this_round)),
             )
         )
 
@@ -254,7 +271,12 @@ def _execute_full(
 
 
 def _execute_lean(
-    automata, schedule, plan, horizon, stop_when_quiescent, proposals
+    automata: Sequence[Automaton],
+    schedule: Schedule,
+    plan: CompiledSchedule,
+    horizon: Round,
+    stop_when_quiescent: bool,
+    proposals: tuple[Value, ...],
 ) -> LeanTrace:
     n = schedule.n
     halted: set[ProcessId] = set()
@@ -379,7 +401,11 @@ def execute_reference(
                     # delivery round, so the message can never be received;
                     # buffering it would leak until the end of the run.
                     continue
-                message = Message(
+                # The reference kernel is the equivalence oracle and is
+                # kept on the original, obviously-correct idioms on
+                # purpose — it must share no shortcuts with the fast
+                # path it checks.
+                message = Message(  # repro: noqa[BIT002]
                     sent_round=k, sender=pid, receiver=receiver,
                     payload=payload,
                 )
@@ -416,7 +442,8 @@ def execute_reference(
                 delivered=delivered,
                 decided=decided_this_round,
                 crashed=schedule.crashed_in(k),
-                halted=frozenset(halted_this_round),
+                # Oracle idiom, uninterned on purpose (see above).
+                halted=frozenset(halted_this_round),  # repro: noqa[BIT001]
             )
         )
 
@@ -438,7 +465,7 @@ def execute_reference(
 
 
 def run_algorithm(
-    factory,
+    factory: AlgorithmFactory,
     schedule: Schedule,
     proposals: Sequence[Value],
     *,

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
+from repro.algorithms.base import AlgorithmFactory
 from repro.errors import SimulationError
 from repro.model.schedule import CrashSpec, Schedule
 from repro.sim.kernel import run_algorithm
@@ -80,7 +81,7 @@ def schedule_from_data(data: Mapping[str, Any]) -> Schedule:
     )
 
 
-def replay(trace: Trace, factory) -> Trace:
+def replay(trace: Trace, factory: "AlgorithmFactory") -> Trace:
     """Re-execute a trace's schedule and check the outcome matches.
 
     Raises :class:`SimulationError` on any divergence — which, for the

@@ -87,6 +87,14 @@ class Trace:
         return entry[1] if entry is not None else None
 
     def decided_values(self) -> set[Value]:
+        """The distinct decided values, as an (unordered) set.
+
+        Callers that iterate the result into anything order-sensitive
+        must wrap it in ``sorted()`` — set order is hash-seed-dependent
+        and would leak into records/exports.  Audited consumers either
+        sort (metrics disagreement listing, figure1, experiments) or
+        consume order-insensitively (len, membership in valency).
+        """
         return {value for value, _round in self.decisions.values()}
 
     def deciders(self) -> frozenset[ProcessId]:
@@ -262,6 +270,14 @@ class LeanTrace:
         return entry[1] if entry is not None else None
 
     def decided_values(self) -> set[Value]:
+        """The distinct decided values, as an (unordered) set.
+
+        Callers that iterate the result into anything order-sensitive
+        must wrap it in ``sorted()`` — set order is hash-seed-dependent
+        and would leak into records/exports.  Audited consumers either
+        sort (metrics disagreement listing, figure1, experiments) or
+        consume order-insensitively (len, membership in valency).
+        """
         return {value for value, _round in self.decisions.values()}
 
     def deciders(self) -> frozenset[ProcessId]:

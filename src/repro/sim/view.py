@@ -58,7 +58,7 @@ __all__ = [
 _DECIDE = "DECIDE"
 
 
-def _is_decide_payload(payload) -> bool:
+def _is_decide_payload(payload: Payload) -> bool:
     """Payload-level ``is_decide`` (tuple-tagged DECIDE, same predicate
     as ``repro.algorithms.common.is_decide``).  Every bucket builder
     must classify decides identically — the byte-identical-across-paths
@@ -79,7 +79,9 @@ def all_pids(n: int) -> frozenset[ProcessId]:
     absent-sender sets against it every round, so it is cached per n."""
     cached = _ALL_PIDS_CACHE.get(n)
     if cached is None:
-        cached = _ALL_PIDS_CACHE[n] = frozenset(range(n))
+        # This IS an interning table: one materialization per n for the
+        # process lifetime, never evicted (unlike bitset's capped cache).
+        cached = _ALL_PIDS_CACHE[n] = frozenset(range(n))  # repro: noqa[BIT001]
     return cached
 
 
@@ -138,7 +140,7 @@ class RoundView:
 
     # -- structured accessors ------------------------------------------------
 
-    def tagged(self, tag) -> tuple[tuple[ProcessId, Payload], ...]:
+    def tagged(self, tag: object) -> tuple[tuple[ProcessId, Payload], ...]:
         """Current-round ``(sender, payload)`` items carrying *tag*."""
         return self.by_tag.get(tag, ())
 

@@ -1,0 +1,6 @@
+# fixture-path: src/repro/sim/kernel.py
+"""BIT001 bad: per-call frozenset materialization in a hot-path file."""
+
+
+def finish_round(halted_this_round):
+    return frozenset(halted_this_round)

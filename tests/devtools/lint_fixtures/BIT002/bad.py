@@ -1,0 +1,9 @@
+# fixture-path: src/repro/sim/view.py
+"""BIT002 bad: per-receiver Message construction in a hot-path file."""
+from repro.model.messages import Message
+
+
+def deliver(k, sender, receiver, payload):
+    return Message(
+        sent_round=k, sender=sender, receiver=receiver, payload=payload
+    )

@@ -1,0 +1,7 @@
+# fixture-path: src/repro/sim/view.py
+"""BIT002 good: hot-path messages built through fast_message."""
+from repro.model.messages import fast_message
+
+
+def deliver(k, sender, receiver, payload):
+    return fast_message(k, sender, receiver, payload)

@@ -1,0 +1,13 @@
+# fixture-path: src/repro/analysis/report.py
+"""DET001 bad: set iteration order leaking into ordered consumers."""
+
+
+def order_sensitive(values):
+    out = []
+    for value in {v for v in values}:
+        out.append(value)
+    rows = [v * 2 for v in set(values)]
+    captured = list({1, 2, 3})
+    pairs = tuple(frozenset(values))
+    text = ",".join({str(v) for v in values})
+    return out, rows, captured, pairs, text

@@ -1,0 +1,16 @@
+# fixture-path: src/repro/analysis/report.py
+"""DET001 good: every order-sensitive use of a set is sorted first, and
+order-insensitive reductions stay allowed."""
+
+
+def order_safe(values):
+    out = []
+    for value in sorted({v for v in values}):
+        out.append(value)
+    rows = [v * 2 for v in sorted(set(values))]
+    captured = list(sorted({1, 2, 3}))
+    total = sum({v for v in values})
+    count = len(set(values))
+    biggest = max(frozenset(values))
+    text = ",".join(sorted({str(v) for v in values}))
+    return out, rows, captured, total, count, biggest, text

@@ -1,0 +1,13 @@
+# fixture-path: src/repro/workloads/noise.py
+"""DET002 bad: global RNG and OS entropy in a record-feeding module."""
+import os
+import random
+import uuid
+
+
+def unseeded_noise(n):
+    jitter = [random.random() for _ in range(n)]
+    random.shuffle(jitter)
+    token = os.urandom(8)
+    run_id = uuid.uuid4()
+    return jitter, token, run_id

@@ -1,0 +1,11 @@
+# fixture-path: src/repro/workloads/noise.py
+"""DET002 good: all randomness flows from an explicit seeded instance
+(the sim/random_schedules.py idiom)."""
+import random
+
+
+def seeded_noise(n, seed):
+    rng = random.Random(seed)
+    jitter = [rng.random() for _ in range(n)]
+    rng.shuffle(jitter)
+    return jitter

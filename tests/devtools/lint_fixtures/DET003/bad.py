@@ -1,0 +1,11 @@
+# fixture-path: src/repro/sim/timing.py
+"""DET003 bad: clock reads inside a record-producing package."""
+import time
+from datetime import datetime
+
+
+def stamp_record(record):
+    started = time.time()
+    tick = time.monotonic()
+    when = datetime.now()
+    return record, started, tick, when

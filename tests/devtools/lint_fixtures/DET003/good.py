@@ -1,0 +1,7 @@
+# fixture-path: src/repro/sim/timing.py
+"""DET003 good: round bookkeeping is a pure function of the case; any
+timestamps arrive as explicit inputs from the operational layer."""
+
+
+def stamp_record(record, started_at):
+    return record, started_at

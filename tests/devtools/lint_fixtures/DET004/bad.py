@@ -1,0 +1,8 @@
+# fixture-path: src/repro/core/keys.py
+"""DET004 bad: memory addresses and salted hashes feeding values."""
+
+
+def unstable_keys(name, obj):
+    cache_key = hash(name)
+    identity = id(obj)
+    return cache_key, identity

@@ -1,0 +1,19 @@
+# fixture-path: src/repro/core/keys.py
+"""DET004 good: the three allowed hash() shapes, plus hashlib for any
+value that actually needs to be stable across processes."""
+import hashlib
+
+
+class Keyed:
+    def __init__(self, name):
+        self.name = name
+
+    def __hash__(self):
+        return hash(self.name)
+
+
+def stable_key(name, payload, a, b):
+    hash(payload)  # fail-fast hashability probe: value discarded
+    contract_holds = hash(a) == hash(b)
+    digest = hashlib.sha256(name.encode()).hexdigest()
+    return contract_holds, digest

@@ -1,0 +1,13 @@
+# fixture-path: src/repro/engine/orchestrator/worker.py
+"""ORC002 bad: the broadest classes swallowed silently."""
+
+
+def run_attempt(task):
+    try:
+        return task()
+    except Exception:
+        pass
+    try:
+        return task()
+    except BaseException:
+        pass

@@ -1,0 +1,16 @@
+# fixture-path: src/repro/engine/executors.py
+"""ORC003 bad: a bare pool constructor and a lazy in-context drain."""
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing.pool import Pool
+
+
+def leak_on_error(execute, cases):
+    pool = Pool(4)
+    results = pool.map(execute, cases)
+    pool.close()
+    return results
+
+
+def lazy_stream(execute, cases):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        yield from pool.map(execute, cases)

@@ -1,0 +1,27 @@
+# fixture-path: src/repro/engine/executors.py
+"""ORC003 good: context-managed pools, drained inside the with block,
+yielded only after the workers are torn down."""
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing.pool import Pool
+
+
+def drain_then_stream(execute, cases):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        drained = list(pool.map(execute, cases))
+    yield from drained
+
+
+def mapper(execute, cases):
+    with Pool(4) as pool:
+        return list(pool.imap_unordered(execute, cases))
+
+
+def nested_generator_is_not_a_lazy_drain(execute, cases):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        drained = list(pool.map(execute, cases))
+
+        def consume():
+            yield from drained
+
+        collected = list(consume())
+    return collected

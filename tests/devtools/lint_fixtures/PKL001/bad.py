@@ -1,0 +1,10 @@
+# fixture-path: src/repro/model/payloads.py
+"""PKL001 bad: slots dataclass crossing the pool boundary with no
+explicit pickle state protocol."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    sender: int
+    payload: tuple

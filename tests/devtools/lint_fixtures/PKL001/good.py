@@ -1,0 +1,22 @@
+# fixture-path: src/repro/model/payloads.py
+"""PKL001 good: slots dataclass with the explicit, 3.10-safe state
+protocol (the model/messages.py idiom); plain dataclasses need nothing."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    sender: int
+    payload: tuple
+
+    def __getstate__(self):
+        return (self.sender, self.payload)
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "sender", state[0])
+        object.__setattr__(self, "payload", state[1])
+
+
+@dataclass(frozen=True)
+class DictBacked:
+    sender: int

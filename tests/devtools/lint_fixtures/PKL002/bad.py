@@ -1,0 +1,13 @@
+# fixture-path: src/repro/engine/state.py
+"""PKL002 bad: hand-slotted class with half a pickle state protocol."""
+
+
+class HalfProtocol:
+    __slots__ = ("items", "cursor")
+
+    def __init__(self):
+        self.items = []
+        self.cursor = 0
+
+    def __getstate__(self):
+        return {"items": self.items}

@@ -1,0 +1,36 @@
+# fixture-path: src/repro/engine/state.py
+"""PKL002 good: slotted classes define both halves or neither, and
+dict-backed memo-stripping __getstate__ stays allowed."""
+
+
+class FullProtocol:
+    __slots__ = ("items", "cursor")
+
+    def __init__(self):
+        self.items = []
+        self.cursor = 0
+
+    def __getstate__(self):
+        return {"items": self.items, "cursor": self.cursor}
+
+    def __setstate__(self, state):
+        self.items = state["items"]
+        self.cursor = state["cursor"]
+
+
+class NoProtocol:
+    __slots__ = ("items",)
+
+    def __init__(self):
+        self.items = []
+
+
+class DictBackedMemoStripper:
+    def __init__(self):
+        self.items = []
+        self._memo = None
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_memo"] = None
+        return state

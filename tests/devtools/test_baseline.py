@@ -1,0 +1,109 @@
+"""Baseline semantics: round-trip, counted allowances, failure modes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.devtools import Baseline, lint_source
+
+HOT_PATH = "src/repro/sim/kernel.py"
+
+
+def _findings(n_extra_lines: int = 0):
+    body = "".join(
+        f"    x{i} = frozenset(pids)\n" for i in range(1 + n_extra_lines)
+    )
+    return lint_source(f"def f(pids):\n{body}", HOT_PATH)
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        baseline = Baseline.from_findings(_findings(2))
+        path = str(tmp_path / "baseline.json")
+        baseline.save(path)
+        assert Baseline.load(path) == baseline
+
+    def test_saved_file_is_canonical(self, tmp_path):
+        baseline = Baseline.from_findings(_findings(1))
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        baseline.save(str(first))
+        Baseline.load(str(first)).save(str(second))
+        assert first.read_text() == second.read_text()
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(str(tmp_path / "absent.json"))
+        assert len(baseline) == 0
+
+
+class TestFiltering:
+    def test_baselined_findings_are_absorbed(self):
+        findings = _findings()
+        baseline = Baseline.from_findings(findings)
+        kept, absorbed = baseline.filter(findings)
+        assert kept == []
+        assert absorbed == len(findings)
+
+    def test_new_findings_pass_through(self):
+        baseline = Baseline.from_findings(_findings())
+        # Same file, new second violation on a *different* line text.
+        source = (
+            "def f(pids):\n"
+            "    x0 = frozenset(pids)\n"
+            "    other = frozenset(sorted(pids))\n"
+        )
+        kept, absorbed = baseline.filter(lint_source(source, HOT_PATH))
+        assert absorbed == 1
+        assert [f.line for f in kept] == [3]
+
+    def test_count_bounds_identical_line_texts(self):
+        # Two findings with the same key (identical stripped line text):
+        # an allowance of one absorbs only one of them.
+        source = (
+            "def f(pids):\n"
+            "    x = frozenset(pids)\n"
+            "    x = frozenset(pids)\n"
+        )
+        findings = lint_source(source, HOT_PATH)
+        assert len(findings) == 2
+        assert findings[0].key() == findings[1].key()
+        baseline = Baseline.from_findings(findings[:1])
+        kept, absorbed = baseline.filter(findings)
+        assert absorbed == 1
+        assert len(kept) == 1
+
+    def test_keys_are_line_number_independent(self):
+        moved = lint_source(
+            "# a comment pushing everything down\n\n\n"
+            "def f(pids):\n"
+            "    x0 = frozenset(pids)\n",
+            HOT_PATH,
+        )
+        baseline = Baseline.from_findings(_findings())
+        kept, absorbed = baseline.filter(moved)
+        assert kept == []
+        assert absorbed == 1
+
+
+class TestFailureModes:
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            Baseline.load(str(path))
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ValueError):
+            Baseline.load(str(path))
+
+    def test_malformed_entry_raises(self, tmp_path):
+        path = tmp_path / "bad-entry.json"
+        path.write_text(
+            json.dumps({"version": 1, "entries": {"k": "three"}})
+        )
+        with pytest.raises(ValueError):
+            Baseline.load(str(path))

@@ -1,0 +1,99 @@
+"""Corpus-driven rule tests: one good/bad fixture pair per rule code.
+
+Each fixture file declares its *virtual* path on line 1
+(``# fixture-path: src/repro/...``) — the analyzer scopes rules by that
+path, so a snippet in the corpus can claim to live in a hot-path file.
+The corpus directory is named ``lint_fixtures`` precisely so the
+analyzer's file walker never picks the deliberate violations up when CI
+lints ``tests/`` (see ``EXCLUDED_DIRS``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.devtools import all_rules, lint_source
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "lint_fixtures")
+
+ALL_CODES = sorted(rule.code for rule in all_rules())
+
+
+def load_fixture(code: str, kind: str) -> tuple[str, str]:
+    """(source, virtual_path) for a fixture file."""
+    path = os.path.join(FIXTURES, code, f"{kind}.py")
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    first = source.splitlines()[0]
+    marker = "# fixture-path:"
+    assert first.startswith(marker), f"{path} lacks a fixture-path header"
+    return source, first[len(marker):].strip()
+
+
+def test_corpus_is_complete():
+    """Every registered rule code has exactly a good/bad fixture pair."""
+    assert sorted(os.listdir(FIXTURES)) == ALL_CODES
+    for code in ALL_CODES:
+        assert sorted(os.listdir(os.path.join(FIXTURES, code))) == [
+            "bad.py",
+            "good.py",
+        ]
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_bad_fixture_fires_its_code(code):
+    source, virtual_path = load_fixture(code, "bad")
+    findings = lint_source(source, virtual_path)
+    assert code in {f.code for f in findings}, (
+        f"{code}/bad.py produced {[f.describe() for f in findings]}"
+    )
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_good_fixture_is_clean_for_its_code(code):
+    source, virtual_path = load_fixture(code, "good")
+    findings = lint_source(
+        source, virtual_path, select=lambda rule: rule.code == code
+    )
+    assert findings == [], (
+        f"{code}/good.py produced {[f.describe() for f in findings]}"
+    )
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_good_fixture_is_clean_under_every_rule(code):
+    """Good fixtures model recommended style: no rule may object."""
+    source, virtual_path = load_fixture(code, "good")
+    findings = lint_source(source, virtual_path)
+    assert findings == [], (
+        f"{code}/good.py produced {[f.describe() for f in findings]}"
+    )
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_bad_fixture_outside_scope_is_ignored_for_scoped_rules(code):
+    """Scoped rules must not fire when the same source lives elsewhere."""
+    rule = next(r for r in all_rules() if r.code == code)
+    if rule.domains is None:
+        pytest.skip("rule applies everywhere by design")
+    source, _ = load_fixture(code, "bad")
+    findings = lint_source(
+        source,
+        "benchmarks/helpers.py",
+        select=lambda r: r.code == code,
+    )
+    assert findings == []
+
+
+def test_finding_positions_and_messages_are_populated():
+    source, virtual_path = load_fixture("DET001", "bad")
+    findings = lint_source(source, virtual_path)
+    for finding in findings:
+        assert finding.path == virtual_path
+        assert finding.line >= 1
+        assert finding.col >= 0
+        assert finding.message
+        assert finding.source_line
+        assert finding.describe().startswith(f"{virtual_path}:")
