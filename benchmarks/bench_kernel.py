@@ -25,8 +25,12 @@ timings to ``BENCH_kernel.json`` (path override:
 ``REPRO_BENCH_JSON``); the ``kernel-bench`` CI lane uploads it as an
 artifact so the perf trajectory is tracked across pushes.  The XXL
 rows (n = 250/500/1000, the bitset data plane at scale) land in the
-same file under ``xxl_systems`` — they time the delivery-bound
-algorithm set, with the flat arm only where it is affordable.
+same file under ``xxl_systems`` — they time the full default sweep set
+with a ``per_algorithm_ms`` breakdown (so the trajectory attributes a
+future ceiling to its owner, not just to a total), with the flat arm
+only where it is affordable.  The ``att2_focus`` rows isolate the
+batched Phase-1 plane: both A_{t+2} variants at n = 500, plane engaged
+vs opted out.
 
 The ``kernel-bench`` CI lane runs this file (``--benchmark-disable``) on
 every push.  The equivalence assertions are unconditional; the
@@ -48,6 +52,8 @@ import pytest
 
 from repro.algorithms.base import Automaton, make_automata
 from repro.algorithms.registry import get_factory
+from repro.core.att2 import ATt2
+from repro.core.att2_optimized import ATt2Optimized
 from repro.analysis.metrics import check_agreement, check_validity
 from repro.analysis.sweep import SweepRecord, run_case
 from repro.analysis.tables import format_table
@@ -69,15 +75,18 @@ XXL_SYSTEMS = ((250, 16), (500, 16), (1000, 16))
 #: Same-shape baseline row so the XXL flat-speedup trajectory compares
 #: like for like (same t, same algorithm set) against n = 100.
 XXL_BASELINE = (100, 16)
-#: att2's two-pass suspicion protocol does O(n²) *automaton-state* work
-#: per round (set messages carrying suspicion sets), which swamps the
-#: delivery plane past n ≈ 100 — flat-vs-lean ratios including it
-#: measure att2, not the data plane.  The XXL rows therefore time the
-#: delivery-bound set; att2 at scale is covered by the xxlarge sweep
-#: profile instead.
-XXL_ALGORITHMS = tuple(
-    name for name in DEFAULT_SWEEP_ALGORITHMS if name != "att2"
-)
+#: att2 used to be excluded here: its per-receiver ESTIMATE fold did
+#: O(n²) *automaton-state* work per round, swamping the delivery plane
+#: past n ≈ 100.  The batched Phase-1 plane
+#: (:mod:`repro.sim.phase1_plane`) removed that ceiling, so the XXL
+#: rows now time the full sweep set — with a per-algorithm breakdown
+#: so any future ceiling names its owner.
+XXL_ALGORITHMS = DEFAULT_SWEEP_ALGORITHMS
+#: The att2-focused row (n, t): plane-engaged vs plane-opted-out
+#: per-case cost for both A_{t+2} variants, cheap enough for the
+#: per-push kernel-bench lane.
+ATT2_FOCUS_SYSTEM = (500, 16)
+ATT2_FOCUS_ALGORITHMS = ("att2", "att2_optimized")
 SEED = 20260730
 
 #: Where the machine-readable timings land (the CI lane uploads this).
@@ -151,6 +160,33 @@ def _flat_factory(factory):
         return automaton
 
     return build
+
+
+class _NoPlaneATt2(ATt2):
+    """Stock A_{t+2} minus the batched Phase-1 plane opt-in."""
+
+    phase1_plane_protocol = None
+
+
+class _NoPlaneATt2Optimized(ATt2Optimized):
+    phase1_plane_protocol = None
+
+
+_PLANE_OPT_OUTS = {
+    "att2": _NoPlaneATt2,
+    "att2_optimized": _NoPlaneATt2Optimized,
+}
+
+
+def _plane_opt_out_factory(algorithm: str):
+    """A factory whose automata opt out of the batched Phase-1 plane.
+
+    Clearing the class-level protocol declaration keeps every other
+    optimization (lazy round-view buckets, single-pass folds) in place,
+    so plane-vs-opt-out ratios attribute exactly the plane's batching —
+    not the rest of the view pipeline.
+    """
+    return _PLANE_OPT_OUTS[algorithm].factory()
 
 
 def _assert_equivalent() -> int:
@@ -338,11 +374,14 @@ def test_compiled_kernel_speedup(benchmark):
 def xxl_measurements() -> list[dict]:
     """The n >= 250 rows: per-case cost of the bitset data plane at scale.
 
-    Measures the delivery-bound algorithm set (:data:`XXL_ALGORITHMS`)
-    lean per-case cost at every XXL size, plus the flat-delivery arm
-    where it is affordable (the baseline and n = 250) so the
-    flat-speedup trajectory across n stays comparable — same t, same
-    algorithms, same workloads as the :data:`XXL_BASELINE` row.
+    Measures the full sweep set (:data:`XXL_ALGORITHMS`) lean per-case
+    cost at every XXL size — one timing per algorithm, so the
+    ``per_algorithm_ms`` breakdown attributes each row's cost — plus
+    the flat-delivery arm where it is affordable (the baseline and
+    n = 250) so the flat-speedup trajectory across n stays comparable
+    (same t, same algorithms, same workloads as the
+    :data:`XXL_BASELINE` row).  An att2 arm with the batched Phase-1
+    plane opted out isolates the plane's contribution per row.
     """
     measurements = []
     for n, t in (XXL_BASELINE,) + XXL_SYSTEMS:
@@ -357,20 +396,38 @@ def xxl_measurements() -> list[dict]:
             run_case(algorithm, get_factory(algorithm), workload,
                      schedule, proposals, trace_mode="lean")
 
+        def noplane_arm(algorithm, workload, schedule):
+            run_case(algorithm, _plane_opt_out_factory(algorithm),
+                     workload, schedule, proposals, trace_mode="lean")
+
         for workload, schedule in schedules:  # warm the compile memos
             lean_arm("chandra_toueg", workload, schedule)
         with_flat = n <= max(XXL_BASELINE[0], 250)
-        lean = _per_case_seconds(lean_arm, schedules, 1, XXL_ALGORITHMS)
+        per_algorithm = {
+            algorithm: round(
+                _per_case_seconds(lean_arm, schedules, 1, (algorithm,))
+                * 1e3,
+                3,
+            )
+            for algorithm in XXL_ALGORITHMS
+        }
+        lean = sum(per_algorithm.values()) / len(per_algorithm) / 1e3
         flat = (
             _per_case_seconds(flat_arm, schedules, 1, XXL_ALGORITHMS)
             if with_flat else None
         )
+        noplane = _per_case_seconds(noplane_arm, schedules, 1, ("att2",))
         measurements.append({
             "n": n,
             "t": t,
             "algorithms": list(XXL_ALGORITHMS),
             "flat_ms": round(flat * 1e3, 3) if flat is not None else None,
             "lean_ms": round(lean * 1e3, 3),
+            "per_algorithm_ms": per_algorithm,
+            "att2_noplane_ms": round(noplane * 1e3, 3),
+            "plane_speedup": round(
+                noplane * 1e3 / per_algorithm["att2"], 2
+            ),
             "flat_speedup": (
                 round(flat / lean, 2) if flat is not None else None
             ),
@@ -378,8 +435,8 @@ def xxl_measurements() -> list[dict]:
     return measurements
 
 
-def _persist_xxl(measurements: list[dict]) -> None:
-    """Merge the XXL rows into ``BENCH_kernel.json`` (additive key).
+def _merge_rows(key: str, rows: list[dict]) -> None:
+    """Merge *rows* into ``BENCH_kernel.json`` under *key* (additive).
 
     The speedup test writes the base document first in a full run; a
     partial run (test selection) still produces a valid file.
@@ -389,7 +446,7 @@ def _persist_xxl(measurements: list[dict]) -> None:
             data = json.load(handle)
     except (OSError, ValueError):
         data = {"version": 1, "seed": SEED, "units": "ms_per_case"}
-    data["xxl_systems"] = measurements
+    data[key] = rows
     with open(BENCH_JSON, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -402,23 +459,25 @@ def test_kernel_xxl_scaling(benchmark):
     measurements = benchmark.pedantic(
         xxl_measurements, rounds=1, iterations=1
     )
-    _persist_xxl(measurements)
+    _merge_rows("xxl_systems", measurements)
 
     def fmt(value, suffix=""):
         return "-" if value is None else f"{value:.2f}{suffix}"
 
     rows = [
         (m["n"], m["t"], fmt(m["flat_ms"]), fmt(m["lean_ms"]),
-         fmt(m["flat_speedup"], "x"))
+         fmt(m["per_algorithm_ms"]["att2"]), fmt(m["att2_noplane_ms"]),
+         fmt(m["plane_speedup"], "x"), fmt(m["flat_speedup"], "x"))
         for m in measurements
     ]
     emit(
         format_table(
-            ["n", "t", "flat ms/case", "view-lean ms/case", "vs flat"],
+            ["n", "t", "flat ms/case", "view-lean ms/case",
+             "att2 ms/case", "att2 no-plane", "plane", "vs flat"],
             rows,
-            title="Kernel XXL scaling: per-case cost, delivery-bound "
-                  "algorithms (bitset data plane; flat arm where "
-                  "affordable)",
+            title="Kernel XXL scaling: per-case cost, full sweep set "
+                  "(bitset data plane; flat arm where affordable; "
+                  "att2 plane attribution)",
         )
     )
     emit(f"\nmerged XXL rows into {BENCH_JSON}")
@@ -427,6 +486,12 @@ def test_kernel_xxl_scaling(benchmark):
     # the n = 100 baseline's ratio — the data plane's advantage grows
     # with n, so a drop below the like-for-like baseline means the
     # bitset plane regressed — plus the usual generous hard floor.
+    # The plane floors guard the batched Phase-1 fold the same way.
+    # Its advantage grows with n (the per-receiver fold it replaces is
+    # O(n) per receiver): ~1.7-2.4x measured at n = 250, ~3-7x at
+    # n = 500, ~4-5x at n = 1000.  So n = 250 gets a
+    # guard-against-pessimization
+    # floor and n >= 500 the usual generous 2x.
     if os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") == "1":
         by_n = {m["n"]: m for m in measurements}
         baseline = by_n[XXL_BASELINE[0]]["flat_speedup"]
@@ -440,3 +505,84 @@ def test_kernel_xxl_scaling(benchmark):
             f"n=250 vs {baseline:.2f}x at the n={XXL_BASELINE[0]} "
             f"baseline"
         )
+        for m in measurements:
+            if m["n"] >= 250:
+                floor = 2.0 if m["n"] >= 500 else 1.2
+                assert m["plane_speedup"] >= floor, (
+                    f"batched Phase-1 plane only "
+                    f"{m['plane_speedup']:.2f}x faster than the "
+                    f"opted-out fold at n={m['n']} (floor {floor}x)"
+                )
+
+
+def att2_focus_measurements() -> list[dict]:
+    """Plane-attribution rows at the :data:`ATT2_FOCUS_SYSTEM` size.
+
+    Times only the two A_{t+2} variants at n = 500 — the batched
+    Phase-1 plane engaged (stock factories) vs opted out (class-level
+    protocol cleared, everything else identical).  A few seconds of
+    work, so the per-push kernel-bench lane runs it under an explicit
+    timeout and a plane regression surfaces long before the nightly
+    XXL floors see it.
+    """
+    n, t = ATT2_FOCUS_SYSTEM
+    proposals = list(range(n))
+    schedules = _bench_schedules(n, t)
+
+    def lean_arm(algorithm, workload, schedule):
+        run_case(algorithm, get_factory(algorithm), workload,
+                 schedule, proposals, trace_mode="lean")
+
+    def noplane_arm(algorithm, workload, schedule):
+        run_case(algorithm, _plane_opt_out_factory(algorithm),
+                 workload, schedule, proposals, trace_mode="lean")
+
+    for workload, schedule in schedules:  # warm the compile memos
+        lean_arm("att2", workload, schedule)
+    rows = []
+    for algorithm in ATT2_FOCUS_ALGORITHMS:
+        plane = _per_case_seconds(lean_arm, schedules, 1, (algorithm,))
+        noplane = _per_case_seconds(
+            noplane_arm, schedules, 1, (algorithm,)
+        )
+        rows.append({
+            "algorithm": algorithm,
+            "n": n,
+            "t": t,
+            "plane_ms": round(plane * 1e3, 3),
+            "noplane_ms": round(noplane * 1e3, 3),
+            "plane_speedup": round(noplane / plane, 2),
+        })
+    return rows
+
+
+# Not smoke-marked: a handful of n = 500 cases is too heavy for the
+# smoke subset, but cheap enough that the kernel-bench lane gives it
+# its own timeout-bounded step (see .github/workflows/ci.yml).
+def test_kernel_att2_focus(benchmark):
+    rows = benchmark.pedantic(
+        att2_focus_measurements, rounds=1, iterations=1
+    )
+    _merge_rows("att2_focus", rows)
+    table_rows = [
+        (r["algorithm"], r["n"], r["t"], f"{r['plane_ms']:.2f}",
+         f"{r['noplane_ms']:.2f}", f"{r['plane_speedup']:.2f}x")
+        for r in rows
+    ]
+    emit(
+        format_table(
+            ["algorithm", "n", "t", "plane ms/case",
+             "no-plane ms/case", "plane speedup"],
+            table_rows,
+            title="att2 focus: batched Phase-1 plane vs opted-out fold "
+                  "(lean trace, ff + random ES)",
+        )
+    )
+    emit(f"\nmerged att2 focus rows into {BENCH_JSON}")
+    if os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") == "1":
+        for r in rows:
+            assert r["plane_speedup"] >= 2.0, (
+                f"batched Phase-1 plane only {r['plane_speedup']:.2f}x "
+                f"faster than the opted-out fold for {r['algorithm']} "
+                f"at n={r['n']}"
+            )

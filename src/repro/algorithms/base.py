@@ -20,13 +20,14 @@ Automata may implement the receive phase at either level:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, ClassVar, Sequence
 
 from repro.errors import AlgorithmError
 from repro.model.messages import Message
 from repro.types import Payload, ProcessId, Round, Value, validate_system_size
 
 if TYPE_CHECKING:  # import cycle: repro.sim.view never imports algorithms
+    from repro.sim.phase1_plane import Phase1Plane
     from repro.sim.view import RoundView
 
 
@@ -39,6 +40,17 @@ class Automaton(ABC):
     from the consensus invocation via :meth:`_halt` (after which the kernel
     stops driving the automaton — it sends nothing and receives nothing).
     """
+
+    #: The run-level batched-delivery protocol this automaton class
+    #: speaks, or ``None`` (the default — per-automaton delivery only).
+    #: When every automaton in a run declares the same known protocol,
+    #: the kernel builds one shared plane for the run and hands it to
+    #: each automaton via :meth:`bind_phase1_plane`; see
+    #: :mod:`repro.sim.phase1_plane`.  Declaring a protocol is a
+    #: contract about the automaton's state layout — subclasses of a
+    #: declaring class that change Phase-1 state handling must reset
+    #: this to ``None``.
+    phase1_plane_protocol: ClassVar[str | None] = None
 
     def __init__(self, pid: ProcessId, n: int, t: int, proposal: Value):
         validate_system_size(n, t)
@@ -106,6 +118,21 @@ class Automaton(ABC):
                 f"deliver_view"
             )
         self.deliver(k, view.messages)
+
+    def bind_phase1_plane(self, plane: "Phase1Plane") -> None:
+        """Accept the run's shared Phase-1 plane (kernel, once per run).
+
+        Called only on automata whose class declares a
+        :attr:`phase1_plane_protocol`; such classes must override this
+        to stash the plane and route their Phase-1 updates through it.
+        The base implementation refuses — declaring a protocol without
+        implementing the bind is a bug, not a silent fallback.
+        """
+        raise AlgorithmError(
+            f"{type(self).__name__} declares plane protocol "
+            f"{type(self).phase1_plane_protocol!r} but does not "
+            f"implement bind_phase1_plane"
+        )
 
     # -- decision / halting -----------------------------------------------
 

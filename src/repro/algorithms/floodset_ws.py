@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.algorithms.common import ConsensusAutomaton
 from repro.algorithms.suspicion import EstimateState
+from repro.sim.phase1_plane import PHASE1_ESTIMATE, Phase1Plane
 from repro.sim.view import RoundView
 from repro.types import Payload, ProcessId, Round, Value
 
@@ -30,15 +31,27 @@ class FloodSetWS(ConsensusAutomaton):
 
     announce_decision = False
 
+    #: Every round is an EstimateState ``compute()`` — the whole run
+    #: batches onto one suspicion plane (see
+    #: :mod:`repro.sim.phase1_plane`).
+    phase1_plane_protocol = PHASE1_ESTIMATE
+
     def __init__(self, pid: ProcessId, n: int, t: int, proposal: Value):
         super().__init__(pid, n, t, proposal)
         self.state = EstimateState(pid=pid, n=n, est=proposal)
+        self._plane: Phase1Plane | None = None
+
+    def bind_phase1_plane(self, plane: Phase1Plane) -> None:
+        self._plane = plane
 
     def round_payload(self, k: Round) -> Payload | None:
         return self.state.payload(k)
 
     def round_deliver_view(self, k: Round, view: RoundView) -> None:
-        self.state.compute_view(k, view)
+        if self._plane is not None:
+            self._plane.compute_view(self.state, k, view)
+        else:
+            self.state.compute_view(k, view)
         if k == self.t + 1:
             self._decide(self.state.est, k)
 

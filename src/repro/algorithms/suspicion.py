@@ -18,13 +18,17 @@ empty.
 
 The update is implemented as a *single batched pass* over the round's
 ESTIMATE ``(sender, payload)`` items, entirely on int bitmasks: one loop
-accumulates the arrived-sender mask and the suspecting-me mask, the
-suspected-now set is one word-complement, and the Halt union is one
-``|`` — the public ``halt`` frozenset is materialized (interned, so
-structurally equal rows share one object) only when the row actually
-changed.  The new estimate is folded in a second short scan of the same
-items — no per-step list materialization, no ``frozenset(range(n))``
-rebuild.  The fast entry point is :meth:`EstimateState.compute_view`
+accumulates the arrived-sender mask and the suspecting-me mask *and*
+folds the new estimate inline (a sender's est participates iff it is
+outside the old halt mask and its suspecting-me bit is clear — both
+known when its item is scanned; a duplicate-sender inbox that reveals a
+suspicion only after folding that sender's earlier value triggers a
+rare second-scan correction).  The suspected-now set is one
+word-complement, and the Halt union is one ``|`` — the public ``halt``
+frozenset is materialized (interned, so structurally equal rows share
+one object) only when the row actually changed.  No per-step list
+materialization, no ``frozenset(range(n))`` rebuild.  The fast entry
+point is :meth:`EstimateState.compute_view`
 (fed by the kernel's pre-bucketed :class:`~repro.sim.view.RoundView`);
 :meth:`EstimateState.compute` keeps the message-tuple signature for
 direct callers and runs the identical batched update after extracting
@@ -101,33 +105,50 @@ class EstimateState:
         """The batched update over ESTIMATE ``(sender, payload)`` items."""
         pid = self.pid
         items = tuple(items)
-        # Suspected now: everyone whose round-k message did not arrive
-        # (never oneself) — one word-complement over the arrived-sender
-        # mask.  Suspecting me: every arriving sender whose Halt already
-        # contains pid.
+        # One pass accumulates the arrived-sender and suspecting-me
+        # masks AND folds the estimate: a sender's est participates iff
+        # the sender is outside the old halt mask and its suspecting-me
+        # bit is clear — both known when its item is scanned.
+        # ``contributed`` remembers whose values the fold consumed, so
+        # the one case the inline fold cannot see — a duplicate-sender
+        # inbox revealing a suspicion only *after* that sender's earlier
+        # item was folded — is detected below and triggers a refold.
         arrived = 0
         suspecting_me = 0
+        contributed = 0
+        halt_mask = self._halt_mask
+        have_est = False
+        est = None
         for sender, payload in items:
             bit = 1 << sender
             arrived |= bit
             if pid in payload[3]:
                 suspecting_me |= bit
-        halt_mask = self._halt_mask
+            elif not (halt_mask | suspecting_me) & bit:
+                contributed |= bit
+                value = payload[2]
+                if not have_est or value < est:
+                    have_est = True
+                    est = value
         suspected_now = full_mask(self.n) & ~arrived & ~(1 << pid)
         additions = (suspected_now | suspecting_me) & ~halt_mask
         if additions:
             halt_mask |= additions
             self._halt_mask = halt_mask
             self.halt = interned_set(halt_mask)
-        have_est = False
-        est = None
-        for sender, payload in items:
-            if (halt_mask >> sender) & 1:
-                continue
-            value = payload[2]
-            if not have_est or value < est:
-                have_est = True
-                est = value
+        if suspecting_me & contributed:
+            # Rare duplicate-sender correction: refold against the final
+            # exclusion set (suspected-now senders have no items, so the
+            # updated halt mask is exactly that set over item senders).
+            have_est = False
+            est = None
+            for sender, payload in items:
+                if (halt_mask >> sender) & 1:
+                    continue
+                value = payload[2]
+                if not have_est or value < est:
+                    have_est = True
+                    est = value
         if have_est:
             self.est = est
 

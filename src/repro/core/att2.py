@@ -39,6 +39,7 @@ from repro.algorithms.base import AlgorithmFactory
 from repro.algorithms.chandra_toueg import ChandraTouegES
 from repro.algorithms.common import ConsensusAutomaton
 from repro.algorithms.suspicion import ESTIMATE, EstimateState
+from repro.sim.phase1_plane import PHASE1_ESTIMATE, Phase1Plane
 from repro.sim.view import RoundView
 from repro.types import (
     BOTTOM,
@@ -73,6 +74,11 @@ class ATt2(ConsensusAutomaton):
     #: Subclasses (Figure 4) flip this to enable the failure-free fast path.
     optimize_failure_free = False
 
+    #: Phase 1 is EstimateState-backed end to end, so a run of A_{t+2}
+    #: automata can share one batched suspicion plane (see
+    #: :mod:`repro.sim.phase1_plane`).
+    phase1_plane_protocol = PHASE1_ESTIMATE
+
     def __init__(
         self,
         pid: ProcessId,
@@ -88,9 +94,13 @@ class ATt2(ConsensusAutomaton):
         self.state = EstimateState(pid=pid, n=n, est=proposal)
         self.new_estimate: Value | None = None
         self.vc: Value = proposal
+        self._plane: Phase1Plane | None = None
         self._underlying_factory = underlying
         self._underlying = None
         self._offset = t + 2  # C's round r is ES round r + offset
+
+    def bind_phase1_plane(self, plane: Phase1Plane) -> None:
+        self._plane = plane
 
     # -- rounds ------------------------------------------------------------
 
@@ -116,7 +126,10 @@ class ATt2(ConsensusAutomaton):
                 and self._failure_free_fast_path(k, view)
             ):
                 return
-            self.state.compute_view(k, view)
+            if self._plane is not None:
+                self._plane.compute_view(self.state, k, view)
+            else:
+                self.state.compute_view(k, view)
             return
         if k == self.t + 2:
             self._phase_two(k, view)
@@ -126,17 +139,25 @@ class ATt2(ConsensusAutomaton):
     # -- phase 2 -------------------------------------------------------------
 
     def _phase_two(self, k: Round, view: RoundView) -> None:
-        values = [
-            payload[2] for _sender, payload in view.tagged(NEWESTIMATE)
-        ]
-        non_bottom = [v for v in values if not is_bottom(v)]
-        if values and len(non_bottom) == len(values):
+        total = 0
+        bottoms = 0
+        best: Value = None
+        have_best = False
+        for _sender, payload in view.tagged(NEWESTIMATE):
+            total += 1
+            value = payload[2]
+            if is_bottom(value):
+                bottoms += 1
+            elif not have_best or value < best:
+                have_best = True
+                best = value
+        if total and not bottoms:
             # Only non-⊥ new estimates received; by elimination they are
             # all equal — decide (and announce in round t+3).
-            self._decide(min(non_bottom), k)
+            self._decide(best, k)
             return
-        if non_bottom:
-            self.vc = min(non_bottom)
+        if have_best:
+            self.vc = best
         # else: vc keeps its current value (the proposal, or the round-2
         # assignment of the failure-free optimization).
 
@@ -167,23 +188,43 @@ class ATt2(ConsensusAutomaton):
         """Figure 4, inserted before ``compute()`` in round 2.
 
         Returns True iff the process decided (and round-2 ``compute()``
-        must be skipped).
+        must be skipped).  When the run's Phase-1 plane is mid-round,
+        the (count, tainted, min-est) inputs come from its group-shared
+        scan; otherwise one local single-pass fold over the tagged items
+        computes them — no intermediate list builds on either path.
         """
-        current = view.tagged(ESTIMATE)
-        empty = frozenset()
-        if not all(payload[3] == empty for _sender, payload in current):
+        if self._plane is not None:
+            stats = self._plane.round2_stats(k, view)
+            if stats is not None:
+                count, tainted, best = stats
+                if tainted or not count:
+                    return False
+                if count == self.n:
+                    self._decide(best, k)
+                    return True
+                self.vc = best
+                return False
+        count = 0
+        best: Value = None
+        for _sender, payload in view.tagged(ESTIMATE):
+            if payload[3]:
+                # A non-empty Halt payload: suspicion already visible,
+                # the optimization does not apply.
+                return False
+            value = payload[2]
+            if not count or value < best:
+                best = value
+            count += 1
+        if not count:
             return False
-        if not current:
-            return False
-        ests = [payload[2] for _sender, payload in current]
-        if len(current) == self.n:
+        if count == self.n:
             # Complete, suspicion-free exchange: every round-2 message in
             # the run carries the global minimum — decide it.
-            self._decide(min(ests), k)
+            self._decide(best, k)
             return True
         # No suspicion visible, but not everyone was heard: pre-position
         # the fallback proposal on the (unique) circulating estimate.
-        self.vc = min(ests)
+        self.vc = best
         return False
 
     @classmethod

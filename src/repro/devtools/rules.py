@@ -46,9 +46,10 @@ CLOCK_FREE_DOMAINS = (
     "lowerbound",
 )
 
-#: The simulation hot-path files PR 7 moved onto the bitset data plane;
-#: the BIT rules hold these (and only these) to interning discipline.
-BITSET_HOT_FILES = ("kernel.py", "view.py", "compiled.py")
+#: The simulation hot-path files PR 7 moved onto the bitset data plane
+#: (plus the batched Phase-1 plane, which lives entirely on it); the
+#: BIT rules hold these (and only these) to interning discipline.
+BITSET_HOT_FILES = ("kernel.py", "view.py", "compiled.py", "phase1_plane.py")
 
 #: Packages whose objects cross the executor pickle boundary.
 PICKLE_DOMAINS = ("model", "sim", "engine")

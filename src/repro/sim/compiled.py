@@ -95,6 +95,12 @@ class CompiledSchedule:
             whose ``current_senders`` round plan is identical — the key
             under which the kernel shares one current-round
             :class:`~repro.sim.view.RoundView` bucket set.
+        current_masks: ``current_senders`` as per-receiver int bitmasks —
+            what lets the kernel hand every receiver its arrived-sender
+            mask (``plan mask & round's broadcaster mask``) in O(1)
+            without materializing the round's ``(sender, payload)``
+            buckets (they build lazily, once per sharing group, on first
+            structured access).
         delayed_groups: the same sharing key for the delayed plan.
         crashed: per round, the processes crashing in that round.
         sender_masks: ``senders`` as per-round int bitmasks (bit ``i``
@@ -121,6 +127,7 @@ class CompiledSchedule:
     ]
     current_senders: tuple[tuple[tuple[ProcessId, ...], ...], ...]
     current_groups: tuple[tuple[ProcessId, ...], ...]
+    current_masks: tuple[tuple[int, ...], ...]
     delayed_groups: tuple[tuple[ProcessId, ...], ...]
     crashed: tuple[frozenset[ProcessId], ...]
     sender_masks: tuple[int, ...]
@@ -231,13 +238,16 @@ def _compile(schedule: Schedule) -> CompiledSchedule:
     delayed_inboxes: list[tuple] = [()]
     current_senders: list[tuple] = [()]
     current_groups: list[tuple] = [()]
+    current_masks: list[tuple] = [()]
     delayed_groups: list[tuple] = [()]
     for k in range(1, horizon + 1):
         round_delayed = []
         round_current = []
         round_cgroups = []
+        round_cmasks = []
         round_dgroups = []
         cgroup_reps: dict[tuple, ProcessId] = {}
+        cmask_memo: dict[tuple, int] = {}
         dgroup_reps: dict[tuple, ProcessId] = {}
         for receiver in range(n):
             entries = inboxes[k][receiver]
@@ -251,10 +261,15 @@ def _compile(schedule: Schedule) -> CompiledSchedule:
             round_delayed.append(delayed)
             round_current.append(current)
             round_cgroups.append(cgroup_reps.setdefault(current, receiver))
+            cmask = cmask_memo.get(current)
+            if cmask is None:
+                cmask = cmask_memo[current] = mask_of(current)
+            round_cmasks.append(cmask)
             round_dgroups.append(dgroup_reps.setdefault(delayed, receiver))
         delayed_inboxes.append(tuple(round_delayed))
         current_senders.append(tuple(round_current))
         current_groups.append(tuple(round_cgroups))
+        current_masks.append(tuple(round_cmasks))
         delayed_groups.append(tuple(round_dgroups))
 
     if schedule.__dict__.get("_sync_from_cache") is None:
@@ -273,6 +288,7 @@ def _compile(schedule: Schedule) -> CompiledSchedule:
         delayed_inboxes=tuple(delayed_inboxes),
         current_senders=tuple(current_senders),
         current_groups=tuple(current_groups),
+        current_masks=tuple(current_masks),
         delayed_groups=tuple(delayed_groups),
         crashed=tuple(crashed),
         sender_masks=tuple(sender_masks),

@@ -48,11 +48,12 @@ from repro.model.messages import DUMMY, Message, sort_delivery
 from repro.model.schedule import Schedule
 from repro.sim.bitset import interned_set, mask_of
 from repro.sim.compiled import CompiledSchedule, compile_schedule
+from repro.sim.phase1_plane import Phase1Plane, build_run_plane
 from repro.sim.trace import AnyTrace, LeanTrace, RoundRecord, Trace
 from repro.sim.view import (
+    CurrentCell,
     RoundView,
     SendTable,
-    build_current_buckets,
     build_delayed_buckets,
 )
 from repro.types import Payload, ProcessId, Round, Value
@@ -72,7 +73,7 @@ def _round_view_factory(
     plan: CompiledSchedule,
     table: SendTable,
     payloads: Sequence[Sequence[Payload]],
-    shared_current: dict[ProcessId, tuple],
+    shared_current: dict[ProcessId, CurrentCell],
     shared_delayed: dict[ProcessId, tuple],
 ) -> Callable[[ProcessId], RoundView]:
     """One round's view builder, sharing buckets across plan groups.
@@ -83,18 +84,29 @@ def _round_view_factory(
     invariant the suite asserts.  ``shared_current``/``shared_delayed``
     are the run's preallocated group-bucket maps; the caller clears them
     between rounds instead of allocating fresh dicts.
+
+    Current-round buckets are *lazy*: each plan group gets one shared
+    :class:`CurrentCell` and views carry only the arrived-sender mask
+    (the compiled plan mask ANDed with the round's broadcaster mask —
+    exactly the senders surviving the table filter in
+    :func:`build_current_buckets`).  A receiver whose round never
+    touches ``current``/``by_tag``/``decides`` — the batched Phase-1
+    plane path — skips the O(plan-size) build entirely.
     """
     delayed_plan = plan.delayed_inboxes[k]
     current_plan = plan.current_senders[k]
     cgroups = plan.current_groups[k]
+    cmasks = plan.current_masks[k]
     dgroups = plan.delayed_groups[k]
+    sender_mask = table.sender_mask
 
     def view_for(pid: ProcessId) -> RoundView:
+        cmask = cmasks[pid] & sender_mask
         rep = cgroups[pid]
-        cur = shared_current.get(rep)
-        if cur is None:
-            cur = shared_current[rep] = build_current_buckets(
-                current_plan[pid], table
+        cell = shared_current.get(rep)
+        if cell is None:
+            cell = shared_current[rep] = CurrentCell(
+                current_plan[pid], table, cmask
             )
         rep = dgroups[pid]
         dly = shared_delayed.get(rep)
@@ -102,9 +114,7 @@ def _round_view_factory(
             dly = shared_delayed[rep] = build_delayed_buckets(
                 delayed_plan[pid], payloads, _NOT_SENT
             )
-        return RoundView(
-            k, pid, n, dly[0], cur[0], cur[1], dly[1] + cur[2], cur[3]
-        )
+        return RoundView.lazy(k, pid, n, dly[0], dly[1], cell, cmask)
 
     return view_for
 
@@ -165,12 +175,20 @@ def execute(
     plan = compile_schedule(schedule)
     horizon = _bounded_horizon(schedule, max_rounds)
     proposals = tuple(a.proposal for a in automata)
+    # The run-level batched-delivery plane (None unless every automaton
+    # declares the protocol — see repro.sim.phase1_plane).  The plane is
+    # active only between begin_round/end_round below, so automata
+    # driven outside this kernel (execute_reference, direct deliver
+    # calls) always take their per-automaton path.
+    plane = build_run_plane(automata)
     if trace == "lean":
         return _execute_lean(
-            automata, schedule, plan, horizon, stop_when_quiescent, proposals
+            automata, schedule, plan, horizon, stop_when_quiescent,
+            proposals, plane,
         )
     return _execute_full(
-        automata, schedule, plan, horizon, stop_when_quiescent, proposals
+        automata, schedule, plan, horizon, stop_when_quiescent,
+        proposals, plane,
     )
 
 
@@ -181,6 +199,7 @@ def _execute_full(
     horizon: Round,
     stop_when_quiescent: bool,
     proposals: tuple[Value, ...],
+    plane: Phase1Plane | None,
 ) -> Trace:
     n = schedule.n
     halted: set[ProcessId] = set()
@@ -194,7 +213,7 @@ def _execute_full(
     records: list[RoundRecord] = []
     # Preallocated per-run buffers, reset (not reallocated) per round.
     table = SendTable(n)
-    shared_current: dict[ProcessId, tuple] = {}
+    shared_current: dict[ProcessId, CurrentCell] = {}
     shared_delayed: dict[ProcessId, tuple] = {}
 
     for k in range(1, horizon + 1):
@@ -225,6 +244,11 @@ def _execute_full(
         view_for = _round_view_factory(
             k, n, plan, table, payloads, shared_current, shared_delayed
         )
+        if plane is not None:
+            # Post-send, pre-receive: the plane's refreshed rows are
+            # exactly the Halt sets this round's payloads carry, and
+            # the sealed table is the round's broadcast universe.
+            plane.begin_round(k, table)
         for pid in plan.completers[k]:
             if pid in halted:
                 continue
@@ -244,6 +268,8 @@ def _execute_full(
                 decided_this_round[pid] = automaton.decision
             if automaton.halted:
                 halted_this_round.add(pid)
+        if plane is not None:
+            plane.end_round()
 
         halted.update(halted_this_round)
         records.append(
@@ -277,6 +303,7 @@ def _execute_lean(
     horizon: Round,
     stop_when_quiescent: bool,
     proposals: tuple[Value, ...],
+    plane: Phase1Plane | None,
 ) -> LeanTrace:
     n = schedule.n
     halted: set[ProcessId] = set()
@@ -288,7 +315,7 @@ def _execute_lean(
     rounds_executed = 0
     # Preallocated per-run buffers, reset (not reallocated) per round.
     table = SendTable(n)
-    shared_current: dict[ProcessId, tuple] = {}
+    shared_current: dict[ProcessId, CurrentCell] = {}
     shared_delayed: dict[ProcessId, tuple] = {}
 
     for k in range(1, horizon + 1):
@@ -319,6 +346,8 @@ def _execute_lean(
         view_for = _round_view_factory(
             k, n, plan, table, payloads, shared_current, shared_delayed
         )
+        if plane is not None:
+            plane.begin_round(k, table)
         for pid in plan.completers[k]:
             if pid in halted:
                 continue
@@ -334,6 +363,8 @@ def _execute_lean(
             if automaton.halted:
                 halted.add(pid)
                 halted_rounds[pid] = k
+        if plane is not None:
+            plane.end_round()
 
         if stop_when_quiescent and all(
             pid in halted for pid in plan.completers[k]

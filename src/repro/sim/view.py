@@ -38,6 +38,21 @@ expensive current-round partitioning is still paid once per round in
 the common all-to-all case.  The partitioning itself starts from a
 :class:`SendTable` the kernel fills during the send phase, so payload
 tags are classified once per broadcast, not once per receiver.
+
+The current-round partitioning is itself lazy on the kernel path
+(:class:`CurrentCell`, :meth:`RoundView.lazy`): a kernel-built view
+carries only the arrived-sender *mask* (one ``&`` of the compiled
+plan's per-receiver mask against the send table's broadcaster mask) and
+a per-group cell that materializes the ``(sender, payload)`` buckets on
+first structured access.  A receiver whose round consumes only masks —
+the batched Phase-1 suspicion plane (:mod:`repro.sim.phase1_plane`) is
+the flagship — never builds its bucket set at all, which is what breaks
+the O(n · plan-size) per-round floor on schedules whose per-receiver
+delivery plans are all distinct (random ES runs at n ≥ 500).  The
+DECIDE scan stays O(1) on bucket-free rounds: the send table already
+knows whether *any* broadcast this round was a DECIDE, so
+:attr:`RoundView.decides` materializes buckets only in announcement
+rounds (plus whatever delayed DECIDEs the eager delayed bucket carries).
 """
 
 from __future__ import annotations
@@ -49,8 +64,8 @@ from repro.sim.bitset import full_mask, interned_set
 from repro.types import Payload, ProcessId, Round
 
 __all__ = [
-    "RoundView", "SendTable", "all_pids", "build_current_buckets",
-    "build_delayed_buckets",
+    "CurrentCell", "RoundView", "SendTable", "all_pids",
+    "build_current_buckets", "build_delayed_buckets",
 ]
 
 #: The universal decide tag (mirrors ``repro.algorithms.common.DECIDE``;
@@ -107,12 +122,19 @@ class RoundView:
 
     The bucket attributes may be shared between views of different
     receivers with identical delivery plans; views are read-only.
+
+    On the kernel path (:meth:`lazy`) the current-round buckets are not
+    built up front: the view carries the arrived-sender mask plus a
+    per-group :class:`CurrentCell`, and ``current`` / ``by_tag`` /
+    ``decides`` materialize (group-shared, once) on first access.  Every
+    accessor returns exactly what the eager constructor would have been
+    handed, so callers cannot observe which constructor built the view.
     """
 
     __slots__ = (
-        "round", "receiver", "n", "delayed", "current", "by_tag",
-        "decides", "current_mask", "_messages", "_current_senders",
-        "_absent",
+        "round", "receiver", "n", "delayed", "current_mask", "_current",
+        "_by_tag", "_decides", "_cell", "_delayed_decides", "_messages",
+        "_current_senders", "_absent",
     )
 
     def __init__(
@@ -130,19 +152,99 @@ class RoundView:
         self.receiver = receiver
         self.n = n
         self.delayed = delayed
-        self.current = current
-        self.by_tag = by_tag
-        self.decides = decides
         self.current_mask = current_mask
+        self._current = current
+        self._by_tag = by_tag
+        self._decides = decides
+        self._cell = None
+        self._delayed_decides = ()
         self._messages = None
         self._current_senders = None
         self._absent = None
 
+    @classmethod
+    def lazy(
+        cls,
+        round: Round,
+        receiver: ProcessId,
+        n: int,
+        delayed: tuple[tuple[Round, ProcessId, Payload], ...],
+        delayed_decides: tuple[Payload, ...],
+        cell: "CurrentCell",
+        current_mask: int,
+    ) -> "RoundView":
+        """A kernel-path view whose current buckets build on demand.
+
+        *current_mask* must equal the mask of senders the cell's built
+        ``current`` bucket will carry (the compiled plan mask ANDed with
+        the round's broadcaster mask) — the kernel computes it in O(1)
+        so mask-only consumers never trigger the build.
+        """
+        view = cls.__new__(cls)
+        view.round = round
+        view.receiver = receiver
+        view.n = n
+        view.delayed = delayed
+        view.current_mask = current_mask
+        view._current = None
+        view._by_tag = None
+        view._decides = None
+        view._cell = cell
+        view._delayed_decides = delayed_decides
+        view._messages = None
+        view._current_senders = None
+        view._absent = None
+        return view
+
+    def _materialize(self) -> None:
+        """Pull the group-shared buckets out of the cell (lazy views)."""
+        current, by_tag, decides, _mask = self._cell.built()
+        self._current = current
+        self._by_tag = by_tag
+        # Canonical delivery order: delayed messages sort ahead of
+        # current-round ones, exactly as the eager construction
+        # concatenates them.
+        self._decides = self._delayed_decides + decides
+
     # -- structured accessors ------------------------------------------------
+
+    @property
+    def current(self) -> tuple[tuple[ProcessId, Payload], ...]:
+        current = self._current
+        if current is None:
+            self._materialize()
+            current = self._current
+        return current
+
+    @property
+    def by_tag(self) -> dict:
+        by_tag = self._by_tag
+        if by_tag is None:
+            self._materialize()
+            by_tag = self._by_tag
+        return by_tag
+
+    @property
+    def decides(self) -> tuple[Payload, ...]:
+        decides = self._decides
+        if decides is None:
+            if self._cell.table.has_decides:
+                self._materialize()
+                decides = self._decides
+            else:
+                # No broadcast this round was a DECIDE, so the whole
+                # delivery's decides are the delayed ones — resolved
+                # without building the current buckets.
+                decides = self._decides = self._delayed_decides
+        return decides
 
     def tagged(self, tag: object) -> tuple[tuple[ProcessId, Payload], ...]:
         """Current-round ``(sender, payload)`` items carrying *tag*."""
-        return self.by_tag.get(tag, ())
+        by_tag = self._by_tag
+        if by_tag is None:
+            self._materialize()
+            by_tag = self._by_tag
+        return by_tag.get(tag, ())
 
     @property
     def all_pids(self) -> frozenset[ProcessId]:
@@ -182,7 +284,14 @@ class RoundView:
     @property
     def size(self) -> int:
         """Number of messages delivered this round (all ages)."""
-        return len(self.delayed) + len(self.current)
+        current = self._current
+        if current is None:
+            # Lazy (kernel-built) views carry at most one current-round
+            # message per sender, so the popcount IS the count — no need
+            # to build the buckets.  Eager hand-built views may carry
+            # duplicate senders; their tuple length is authoritative.
+            return len(self.delayed) + self.current_mask.bit_count()
+        return len(self.delayed) + len(current)
 
     @property
     def messages(self) -> tuple[Message, ...]:
@@ -311,6 +420,48 @@ class RoundView:
         )
 
 
+class CurrentCell:
+    """One current-group's lazily-built shared buckets.
+
+    The kernel creates one cell per ``current_groups`` representative
+    per round and hands it to every :meth:`RoundView.lazy` view in the
+    group; the first structured access on *any* of them runs
+    :func:`build_current_buckets` and the result is shared by the rest.
+    Rounds whose receivers consume only masks (the batched Phase-1
+    plane) never trigger the build at all.
+
+    *mask* is the group's surviving-sender mask (plan ∩ broadcasters).
+    A group that hears **every** broadcaster — the overwhelmingly common
+    shape even on schedules whose delivery plans are all distinct, where
+    fragmentation comes from a few delayed messages — resolves to the
+    table's round-wide full bucket set instead of building its own, so
+    the per-round materialization cost collapses from O(groups · n) to
+    O(n) plus the stragglers.
+    """
+
+    __slots__ = ("plan", "table", "mask", "_built")
+
+    def __init__(
+        self, plan: Sequence[ProcessId], table: "SendTable", mask: int
+    ) -> None:
+        self.plan = plan
+        self.table = table
+        self.mask = mask
+        self._built: tuple | None = None
+
+    def built(self) -> tuple:
+        """The group's ``(current, by_tag, decides, mask)``, built once."""
+        built = self._built
+        if built is None:
+            table = self.table
+            if self.mask == table.sender_mask:
+                built = table.full_buckets()
+            else:
+                built = build_current_buckets(self.plan, table, self.mask)
+            self._built = built
+        return built
+
+
 class SendTable:
     """One round's broadcast payloads, structured for bucket building.
 
@@ -331,7 +482,7 @@ class SendTable:
 
     __slots__ = (
         "items", "tags", "is_decide", "count", "sender_mask", "senders",
-        "single_tag", "has_decides",
+        "single_tag", "has_decides", "_full_buckets",
     )
 
     def __init__(self, n: int):
@@ -343,6 +494,7 @@ class SendTable:
         self.senders: frozenset = interned_set(0)
         self.single_tag = None              # the round's tag, if unique
         self.has_decides = False
+        self._full_buckets: tuple | None = None
 
     def record(self, sender: ProcessId, payload: Payload) -> None:
         """Note that *sender* broadcast *payload* this round."""
@@ -366,6 +518,25 @@ class SendTable:
         """Finalize after the send phase (interns the sender set)."""
         self.senders = interned_set(self.sender_mask)
 
+    def full_buckets(self) -> tuple:
+        """The complete-hearing bucket set ``(current, by_tag, decides,
+        sender_mask)`` — what :func:`build_current_buckets` returns for
+        any plan whose surviving senders are *all* of this round's
+        broadcasters.  Built once per round, shared by every such group
+        (see :class:`CurrentCell`)."""
+        built = self._full_buckets
+        if built is None:
+            senders = []
+            mask = self.sender_mask
+            while mask:
+                low = mask & -mask
+                senders.append(low.bit_length() - 1)
+                mask ^= low
+            built = self._full_buckets = build_current_buckets(
+                senders, self, self.sender_mask
+            )
+        return built
+
     def reset(self) -> None:
         """Clear for the next round, touching only last round's slots."""
         mask = self.sender_mask
@@ -385,10 +556,13 @@ class SendTable:
         self.senders = interned_set(0)
         self.single_tag = None
         self.has_decides = False
+        self._full_buckets = None
 
 
 def build_current_buckets(
-    current_plan: Sequence[ProcessId], table: SendTable
+    current_plan: Sequence[ProcessId],
+    table: SendTable,
+    known_mask: int | None = None,
 ) -> tuple:
     """One current-group's shared buckets: ``(current, by_tag, decides,
     current_mask)``.
@@ -396,11 +570,14 @@ def build_current_buckets(
     *current_plan* is the compiled ascending sender list for one
     receiver group; senders that never broadcast (halted) drop out via
     the table.  The sender set travels as a bitmask — the
-    :class:`RoundView` interns the frozenset only on demand.  The common
-    round shape — every broadcast carries the same tag, none of them a
-    DECIDE — collapses to a single filtered copy of the table's items;
-    mixed rounds (coordinator phases, decide announcements) take the
-    general partitioning path.
+    :class:`RoundView` interns the frozenset only on demand; callers
+    that already hold the surviving-sender mask (the kernel's
+    :class:`CurrentCell` computes it in O(1) from the compiled plan
+    mask) pass it as *known_mask* to skip the recomputation.  The
+    common round shape — every broadcast carries the same tag, none of
+    them a DECIDE — collapses to a single filtered copy of the table's
+    items; mixed rounds (coordinator phases, decide announcements) take
+    the general partitioning path.
     """
     items = table.items
     current = [
@@ -409,7 +586,9 @@ def build_current_buckets(
     if not current:
         return ((), {}, (), 0)
     current = tuple(current)
-    if len(current) == table.count:
+    if known_mask is not None:
+        sender_mask = known_mask
+    elif len(current) == table.count:
         sender_mask = table.sender_mask
     else:
         sender_mask = 0

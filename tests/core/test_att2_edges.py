@@ -3,8 +3,12 @@
 import pytest
 
 from repro import ATt2, ChandraTouegES, HurfinRaynalES, Schedule
+from repro.algorithms.suspicion import estimate_payload
+from repro.core.att2_optimized import ATt2Optimized
+from repro.model.messages import Message
 from repro.model.schedule import ScheduleBuilder
 from repro.sim.kernel import run_algorithm
+from repro.sim.view import RoundView
 from tests.conftest import run_and_check
 
 
@@ -86,6 +90,25 @@ class TestHaltBookkeeping:
                 assert previous <= halt
                 previous = halt
 
+    def test_msg_set_senders_excludes_halt_stale_and_foreign(self):
+        automaton = ATt2(0, 5, 2, 7)
+        automaton.state.halt = frozenset({3})
+        messages = (
+            Message(2, 0, 0, estimate_payload(2, 7, frozenset())),
+            Message(2, 1, 0, estimate_payload(2, 1, frozenset({0}))),
+            Message(2, 3, 0, estimate_payload(2, 0, frozenset())),  # in Halt
+            Message(1, 4, 0, estimate_payload(1, 2, frozenset())),  # stale
+            Message(2, 2, 0, ("NEWESTIMATE", 2, 5)),                # foreign
+        )
+        senders = automaton.state.msg_set_senders(2, messages)
+        # Halt exclusion reads the *current* Halt; a sender suspecting
+        # p0 still counts until compute() actually adds it.
+        assert senders == frozenset({0, 1})
+
+    def test_msg_set_senders_empty_inbox(self):
+        automaton = ATt2(0, 5, 2, 7)
+        assert automaton.state.msg_set_senders(1, ()) == frozenset()
+
     def test_crashed_processes_accumulate_in_halt(self):
         schedule = Schedule.synchronous(
             5, 2, 12, crashes={4: (1, []), 3: (2, [])}
@@ -93,3 +116,114 @@ class TestHaltBookkeeping:
         trace = run_algorithm(ATt2.factory(), schedule, [3, 1, 4, 1, 5])
         final_halt = trace.record(3).sent[0][3]
         assert final_halt == frozenset({3, 4})
+
+
+def _round2_view(pid, n, items):
+    """A round-2 view over ``(sender, est, halt)`` ESTIMATE items."""
+    return RoundView.from_messages(
+        2, pid, n,
+        tuple(
+            Message(2, sender, pid, estimate_payload(2, est, frozenset(halt)))
+            for sender, est, halt in items
+        ),
+    )
+
+
+class TestFailureFreeFastPathEdges:
+    """Direct edges of Figure 4's round-2 check (no kernel in the loop)."""
+
+    def _automaton(self, pid=0, n=5, t=2, proposal=9):
+        return ATt2Optimized(pid, n, t, proposal)
+
+    def test_empty_round_2_delivery_does_not_decide(self):
+        automaton = self._automaton()
+        view = _round2_view(0, 5, ())
+        assert automaton._failure_free_fast_path(2, view) is False
+        assert not automaton.decided
+        assert automaton.vc == 9  # untouched: no circulating estimate
+
+    def test_partial_hearing_with_clean_halts_prepositions_vc(self):
+        # 3 of 5 heard, all Halt payloads empty: no decision, but vc
+        # adopts the (unique) circulating minimum for the fallback.
+        automaton = self._automaton()
+        view = _round2_view(
+            0, 5, ((0, 9, ()), (1, 4, ()), (3, 6, ()))
+        )
+        assert automaton._failure_free_fast_path(2, view) is False
+        assert not automaton.decided
+        assert automaton.vc == 4
+
+    def test_partial_hearing_with_nonempty_halt_bails_untouched(self):
+        # A suspicion visible in *any* received payload disables the
+        # optimization outright — vc must not move even though smaller
+        # estimates circulate.
+        automaton = self._automaton()
+        view = _round2_view(
+            0, 5, ((0, 9, ()), (1, 4, (2,)), (3, 6, ()))
+        )
+        assert automaton._failure_free_fast_path(2, view) is False
+        assert not automaton.decided
+        assert automaton.vc == 9
+
+    def test_complete_hearing_with_nonempty_halt_bails(self):
+        # Even n clean-looking estimates do not decide if one of them
+        # carries a suspicion.
+        automaton = self._automaton()
+        view = _round2_view(
+            0, 5,
+            ((0, 9, ()), (1, 4, ()), (2, 5, (0,)), (3, 6, ()), (4, 7, ())),
+        )
+        assert automaton._failure_free_fast_path(2, view) is False
+        assert not automaton.decided
+        assert automaton.vc == 9
+
+    def test_complete_clean_hearing_decides_minimum(self):
+        automaton = self._automaton()
+        view = _round2_view(
+            0, 5,
+            ((0, 9, ()), (1, 4, ()), (2, 5, ()), (3, 6, ()), (4, 7, ())),
+        )
+        assert automaton._failure_free_fast_path(2, view) is True
+        assert automaton.decided
+        assert automaton.decision == 4
+
+    def test_plane_backed_fast_path_matches_local_scan(self):
+        # The same edges through the batched plane's round2_stats.  The
+        # plane's protocol contract says payloads ARE state.payload(k),
+        # so each case's sender states carry the est/Halt the payloads
+        # show.
+        from repro.sim.phase1_plane import Phase1Plane
+        from repro.sim.view import SendTable
+
+        cases = (
+            ((), False, 9),                                    # empty
+            (((0, 9, ()), (1, 4, ()), (3, 6, ())), False, 4),  # partial
+            (((0, 9, ()), (1, 4, (2,)), (3, 6, ())), False, 9),  # tainted
+        )
+        for items, want_decided, want_vc in cases:
+            local = self._automaton()
+            batched = self._automaton()
+            others = [ATt2Optimized(pid, 5, 2, 9) for pid in range(1, 5)]
+            by_pid = [batched] + others
+            for sender, est, halt in items:
+                by_pid[sender].state.est = est
+                by_pid[sender].state.halt = frozenset(halt)
+                by_pid[sender].state._halt_mask = sum(
+                    1 << p for p in halt
+                )
+            plane = Phase1Plane([a.state for a in by_pid])
+            batched.bind_phase1_plane(plane)
+            table = SendTable(5)
+            for sender, _est, _halt in items:
+                table.record(sender, by_pid[sender].state.payload(2))
+            table.seal()
+            plane.begin_round(2, table)
+            view = _round2_view(0, 5, items)
+            assert (
+                batched._failure_free_fast_path(2, view)
+                == local._failure_free_fast_path(2, view)
+                == want_decided
+            )
+            plane.end_round()
+            assert batched.decided == local.decided == want_decided
+            assert batched.vc == local.vc == want_vc

@@ -103,6 +103,74 @@ class TestCompiledMatchesReference:
         assert compiled == reference
 
 
+class TestPhase1PlaneDispatch:
+    """The batched Phase-1 plane: when it engages, and that engaging it
+    never changes a trace (per-algorithm byte-identity for the batched
+    kernel path)."""
+
+    PLANE_ALGORITHMS = ("att2", "att2_optimized", "floodset_ws",
+                        "adiamond_s")
+
+    @pytest.mark.parametrize("name", PLANE_ALGORITHMS)
+    def test_plane_engages_and_matches_reference(self, name):
+        factory = get_factory(name)
+        for seed in SEEDS[:10]:
+            schedule = random_es_schedule(5, 2, seed)
+            proposals = random_proposals(5, seed)
+            automata = make_automata(factory, 5, 2, proposals)
+            compiled = execute(automata, schedule, trace="full")
+            assert all(a._plane is not None for a in automata), name
+            reference = execute_reference(
+                make_automata(factory, 5, 2, proposals), schedule
+            )
+            assert compiled == reference, f"{name} diverged on seed {seed}"
+
+    @pytest.mark.parametrize("name", ["chandra_toueg", "hurfin_raynal"])
+    def test_non_declaring_algorithms_get_no_plane(self, name):
+        automata = make_automata(
+            get_factory(name), 5, 2, [3, 1, 4, 1, 5]
+        )
+        execute(automata, Schedule.failure_free(5, 2, 12))
+        assert all(
+            type(a).phase1_plane_protocol is None for a in automata
+        )
+
+    def test_opted_out_run_is_byte_identical(self):
+        from repro.core.att2 import ATt2
+
+        class OptOut(ATt2):
+            phase1_plane_protocol = None
+
+        for seed in SEEDS[:10]:
+            schedule = random_es_schedule(5, 2, seed)
+            proposals = random_proposals(5, seed)
+            batched_automata = make_automata(ATt2.factory(), 5, 2, proposals)
+            batched = execute(batched_automata, schedule, trace="full")
+            oracle_automata = make_automata(OptOut.factory(), 5, 2, proposals)
+            oracle = execute(oracle_automata, schedule, trace="full")
+            assert all(a._plane is None for a in oracle_automata)
+            assert batched == oracle, f"plane changed the trace (seed {seed})"
+
+    def test_mixed_run_disables_plane_and_stays_identical(self):
+        from repro.core.att2 import ATt2
+
+        class OptOut(ATt2):
+            phase1_plane_protocol = None
+
+        schedule = random_es_schedule(5, 2, 7)
+        proposals = random_proposals(5, 7)
+        mixed = [
+            (OptOut if pid == 2 else ATt2)(pid, 5, 2, proposals[pid])
+            for pid in range(5)
+        ]
+        compiled = execute(mixed, schedule, trace="full")
+        assert all(a._plane is None for a in mixed)
+        reference = execute_reference(
+            make_automata(ATt2.factory(), 5, 2, proposals), schedule
+        )
+        assert compiled == reference
+
+
 class TestLeanTraceMetrics:
     @pytest.mark.parametrize(
         "name", ["att2", "att2_optimized", "adiamond_s", "hurfin_raynal",
